@@ -1,0 +1,42 @@
+"""Figure 2 — total run time, lockstep vs asynchronous, per placement.
+
+Replays the eight Table 1 cases at paper scale (24M bodies, 128 nodes,
+512 GPUs, 90 binning operations per iteration) on the calibrated cost
+model, then prints the bar series and asserts the paper's orderings:
+
+- asynchronous execution reduces total run time in every placement;
+- host and same-device placements are nearly tied;
+- the dedicated-device placements (fewer ranks, reduced concurrency)
+  are slower overall.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import format_fig2, verify_findings
+from repro.harness.runner import simulate
+from repro.harness.spec import InSituPlacement, table1_matrix
+from repro.sensei.execution import ExecutionMethod
+
+
+def _simulate_all():
+    return [simulate(spec) for spec in table1_matrix()]
+
+
+def test_fig2_total_run_time(benchmark):
+    results = benchmark(_simulate_all)
+
+    print()
+    print(format_fig2(results))
+
+    findings = verify_findings(results)
+    assert findings["async_reduces_total_time_in_all_placements"], findings
+    assert findings["dedicated_placements_are_slower"], findings
+    assert findings["host_and_same_device_nearly_tied"], findings
+
+    by = {(r.spec.placement, r.spec.method): r for r in results}
+    L, A = ExecutionMethod.LOCKSTEP, ExecutionMethod.ASYNCHRONOUS
+    # Concrete factors, for EXPERIMENTS.md:
+    for p in InSituPlacement:
+        saving = 1.0 - by[(p, A)].total_time / by[(p, L)].total_time
+        print(f"async saving at {p.value!r}: {100 * saving:.1f}%")
+        assert saving > 0.0

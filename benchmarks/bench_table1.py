@@ -1,0 +1,46 @@
+"""Table 1 — the placement-study run matrix.
+
+Regenerates the eight-case matrix and validates its rank/GPU accounting
+against the rows printed in the paper.  The wall-clock benchmark
+measures matrix generation + formatting (trivial by design — Table 1 is
+configuration, not computation; it exists so the bench suite covers
+every table and figure).
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import format_table1
+from repro.harness.spec import InSituPlacement, table1_matrix
+from repro.sensei.execution import ExecutionMethod
+
+#: The paper's Table 1 rows: (method, ranks/node, total ranks, location).
+PAPER_ROWS = [
+    ("lock step", 4, 512, InSituPlacement.HOST),
+    ("lock step", 4, 512, InSituPlacement.SAME_DEVICE),
+    ("lock step", 3, 384, InSituPlacement.DEDICATED_1),
+    ("lock step", 2, 256, InSituPlacement.DEDICATED_2),
+    ("asynchr.", 4, 512, InSituPlacement.HOST),
+    ("asynchr.", 4, 512, InSituPlacement.SAME_DEVICE),
+    ("asynchr.", 3, 384, InSituPlacement.DEDICATED_1),
+    ("asynchr.", 2, 256, InSituPlacement.DEDICATED_2),
+]
+
+
+def test_table1_matrix(benchmark):
+    text = benchmark(lambda: format_table1(table1_matrix()))
+
+    specs = table1_matrix()
+    assert len(specs) == len(PAPER_ROWS)
+    for spec, (method, rpn, total, placement) in zip(specs, PAPER_ROWS):
+        expected = (
+            ExecutionMethod.LOCKSTEP if method == "lock step"
+            else ExecutionMethod.ASYNCHRONOUS
+        )
+        assert spec.method is expected
+        assert spec.ranks_per_node == rpn
+        assert spec.total_ranks == total
+        assert spec.placement is placement
+        assert spec.nodes == 128
+
+    print()
+    print(text)

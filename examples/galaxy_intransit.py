@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Galaxy analysis, in transit: M simulation ranks -> N analysis endpoints.
+
+A Plummer-sphere galaxy (the MAGI-substitute initializer) is evolved by
+four simulation ranks while two dedicated endpoint ranks receive the
+particle tables over the (simulated) interconnect, assemble them, and
+run the analyses — the M-to-N in transit mode that complements the
+paper's on-node placements.  The endpoints bin mass radially (via the
+x-y plane) and histogram the speed distribution, writing the final
+grids as CSV.
+
+Run:  python examples/galaxy_intransit.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.binning.axes import AxisSpec
+from repro.binning.operator import BinRequest
+from repro.binning.reduce import ReductionOp
+from repro.newton.adaptor import NewtonDataAdaptor
+from repro.newton.solver import NewtonSolver, SolverConfig
+from repro.sensei.backends.binning import BinningAnalysis
+from repro.sensei.intransit import InTransitLayout, run_in_transit
+from repro.svtk.writer import write_vtk_image
+
+N_BODIES = 2000
+STEPS = 4
+M_PRODUCERS, N_ENDPOINTS = 4, 2
+
+
+def producer_main(sim_comm, bridge):
+    solver = NewtonSolver(
+        SolverConfig(
+            n_bodies=N_BODIES, dt=5e-4, softening=0.05, seed=11,
+            ic="plummer", box=20.0,
+        ),
+        sim_comm,
+    )
+    adaptor = NewtonDataAdaptor(solver)
+    solver.run(STEPS, bridge=bridge, adaptor=adaptor)
+    return solver.n_local
+
+
+def analyses_factory():
+    mass_xy = BinningAnalysis(
+        "bodies",
+        [AxisSpec("x", 64, -5, 5), AxisSpec("y", 64, -5, 5)],
+        [BinRequest(ReductionOp.SUM, "mass")],
+        name="mass-xy",
+    )
+    speed = BinningAnalysis(
+        "bodies",
+        [AxisSpec("vx", 48)],
+        [BinRequest(ReductionOp.AVERAGE, "mass")],
+        name="vx-dist",
+    )
+    for a in (mass_xy, speed):
+        a.set_device_id(-1)
+    return [mass_xy, speed]
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    layout = InTransitLayout(m=M_PRODUCERS, n=N_ENDPOINTS)
+    producers, endpoints = run_in_transit(layout, producer_main, analyses_factory)
+    print(f"{M_PRODUCERS} producers simulated {sum(producers)} bodies; "
+          f"{N_ENDPOINTS} endpoints analyzed {endpoints[0].steps_processed} steps")
+
+    # Endpoint results are globally reduced; take endpoint 0's copies.
+    for analysis in endpoints[0].analyses:
+        mesh = analysis.latest
+        count = mesh.cell_array_as_grid("count")
+        print(f"  {analysis.name}: grid {mesh.dims}, binned rows {int(count.sum())}")
+        assert count.sum() == N_BODIES
+        path = outdir / f"{analysis.name}.vtk"
+        write_vtk_image(mesh, path)
+        print(f"  wrote {path}")
+
+    # The galaxy is centrally concentrated: the central 16x16 patch of
+    # the 64x64 mass grid holds most of the mass.
+    mass = endpoints[0].analyses[0].latest.cell_array_as_grid("mass_sum")
+    central = mass[24:40, 24:40].sum()
+    print(f"  central-region mass fraction: {central / mass.sum():.2%}")
+
+
+if __name__ == "__main__":
+    main()

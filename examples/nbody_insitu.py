@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Newton++ with XML-configured in situ data binning (the Figure 1 run).
+
+A uniform-random n-body system with a massive central body is evolved
+on 4 MPI ranks / 4 virtual GPUs; SENSEI is configured from run-time XML
+(exactly how the paper's runs were orchestrated) to bin the sum of body
+mass onto 256x256 grids in the x-y and x-z planes at every iteration,
+and the final grids are written as legacy VTK files for post hoc
+visualization.
+
+Run:  python examples/nbody_insitu.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.mpi.comm import run_spmd
+from repro.newton.adaptor import NewtonDataAdaptor
+from repro.newton.solver import NewtonSolver, SolverConfig
+from repro.sensei.bridge import Bridge
+from repro.sensei.configurable import ConfigurableAnalysis
+from repro.svtk.writer import write_vtk_image
+
+N_BODIES = 3000
+STEPS = 5
+GRID = 256
+
+SENSEI_XML = f"""
+<sensei>
+  <analysis type="data_binning" mesh="bodies"
+            axes="x,y" bins="{GRID},{GRID}" variables="mass:sum"
+            execution="lockstep" placement="auto" name="bin-xy"/>
+  <analysis type="data_binning" mesh="bodies"
+            axes="x,z" bins="{GRID},{GRID}" variables="mass:sum"
+            execution="lockstep" placement="auto" name="bin-xz"/>
+</sensei>
+"""
+
+
+def rank_main(comm, outdir: str):
+    solver = NewtonSolver(
+        SolverConfig(
+            n_bodies=N_BODIES,
+            dt=1e-4,
+            softening=0.05,
+            seed=7,
+            central_mass=50.0,
+            mass_range=(0.01, 0.03),
+        ),
+        comm,
+    )
+    analysis = ConfigurableAnalysis(xml=SENSEI_XML)
+    bridge = Bridge()
+    bridge.initialize(comm, analyses=[analysis])
+    adaptor = NewtonDataAdaptor(solver)
+    solver.run(STEPS, bridge=bridge, adaptor=adaptor)
+    bridge.finalize()
+
+    results = {}
+    for child in analysis.children:
+        mesh = child.latest
+        results[child.name] = mesh
+        if comm.rank == 0:
+            path = Path(outdir) / f"{child.name}_step{solver.step_count:04d}.vtk"
+            write_vtk_image(mesh, path)
+            print(f"rank 0 wrote {path}")
+    if comm.rank == 0:
+        for name, mesh in results.items():
+            total = mesh.cell_array_as_grid("mass_sum").sum()
+            occupied = int((mesh.cell_array_as_grid("count") > 0).sum())
+            print(
+                f"{name}: {GRID}x{GRID} grid, occupied bins {occupied}, "
+                f"total binned mass {total:.4f}"
+            )
+    return solver.mean_step_time, bridge.total_apparent_time
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "."
+    Path(outdir).mkdir(parents=True, exist_ok=True)
+    out = run_spmd(4, rank_main, outdir)
+    solver_ms = 1e3 * sum(o[0] for o in out) / len(out)
+    insitu_ms = 1e3 * max(o[1] for o in out)
+    print(f"mean solver time per iteration: {solver_ms:.3f} ms (simulated)")
+    print(f"total apparent in situ time:    {insitu_ms:.3f} ms (simulated)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: the heterogeneous data model in five minutes.
+
+Mirrors the paper's Listing 1 — a simulation allocates and initializes
+an array on a device under one programming model, hands it to SENSEI
+zero-copy with coordinated life-cycle management, and a consumer reads
+it wherever it likes; any movement happens automatically.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Allocator,
+    HAMRDataArray,
+    PMKind,
+    StreamMode,
+    current_clock,
+    default_stream,
+    get_node,
+    set_active_device,
+)
+
+
+def main() -> None:
+    node = get_node()
+    print(f"virtual node: {node.num_devices} GPUs + host "
+          f"({node.spec.device.name} / {node.spec.host.name})")
+
+    # --- the simulation side (paper Listing 1) ---------------------------------
+    dev_id = 1
+    set_active_device(dev_id)             # omp_set_default_device(devId)
+    n_elem = 1_000_000
+
+    # "allocate device memory" + "initialize the array on the device"
+    # (the simulation owns this storage; think omp_target_alloc).
+    device_ptr = np.empty(n_elem)
+    device_ptr[:] = -3.14
+
+    # "zero-copy construct with coordinated life cycle management"
+    freed = []
+    sim_data = HAMRDataArray.zero_copy(
+        "simData",
+        device_ptr,
+        n_components=1,
+        allocator=Allocator.OPENMP,
+        stream=default_stream(dev_id),
+        stream_mode=StreamMode.ASYNC,
+        device_id=dev_id,
+        deleter=lambda: freed.append("simData storage released"),
+    )
+    print(f"published {sim_data!r}")
+
+    # --- a consumer that knows nothing about the producer ------------------------
+    # It asks for host access; because the data lives on device 1, the
+    # data model allocates a temporary, moves the bytes, and hands back
+    # a shared view that cleans the temporary up automatically.
+    view = sim_data.get_host_accessible()
+    sim_data.synchronize()  # "make sure the data, if moved, has arrived"
+    host_values = view.get()
+    print(f"host view: temporary={view.is_temporary}, "
+          f"first values={host_values[:3]}")
+    assert view.is_temporary
+    assert np.all(host_values == -3.14)
+    view.release()
+
+    # A CUDA consumer on the *same* device gets direct, zero-cost access:
+    cuda_view = sim_data.get_cuda_accessible(device_id=dev_id)
+    print(f"cuda view on device {dev_id}: temporary={cuda_view.is_temporary}")
+    assert not cuda_view.is_temporary
+    cuda_view.release()
+
+    # "free up the container" — the deleter coordinates the life cycle.
+    sim_data.delete()
+    print(f"cleanup: {freed[0]}")
+
+    print(f"simulated time elapsed: {current_clock().now * 1e3:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP-517 editable support.
+
+``pip install -e .`` needs the ``wheel`` package to build modern
+editables; offline environments without it can use
+``python setup.py develop --user`` or simply add ``src/`` to a .pth.
+"""
+from setuptools import setup
+
+setup()

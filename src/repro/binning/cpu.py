@@ -1,0 +1,75 @@
+"""Host (CPU) data-binning implementation.
+
+Vectorized numpy scatter-reductions: ``np.bincount`` for count/sum
+(fast paths) and ``np.minimum.at`` / ``np.maximum.at`` for the
+order-statistic ops.  This is the reference implementation the device
+variant is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.reduce import ReductionOp
+from repro.errors import BinningError
+
+__all__ = ["bin_cpu", "apply_binned_update"]
+
+
+def apply_binned_update(
+    acc: np.ndarray,
+    flat_idx: np.ndarray,
+    values: np.ndarray | None,
+    op: ReductionOp,
+    n_cells: int,
+) -> None:
+    """Accumulate one batch of realizations into ``acc`` in place.
+
+    ``acc`` has the op's accumulator shape; ``flat_idx`` maps each
+    realization to its bin; ``values`` is the binned variable (``None``
+    for COUNT).
+    """
+    if op.needs_values:
+        if values is None:
+            raise BinningError(f"{op.value} reduction requires values")
+        values = np.asarray(values, dtype=np.float64)
+        if values.size != flat_idx.size:
+            raise BinningError(
+                f"values length {values.size} != index length {flat_idx.size}"
+            )
+
+    if op is ReductionOp.COUNT:
+        acc += np.bincount(flat_idx, minlength=n_cells)
+    elif op is ReductionOp.SUM:
+        acc += np.bincount(flat_idx, weights=values, minlength=n_cells)
+    elif op is ReductionOp.AVERAGE:
+        acc[0] += np.bincount(flat_idx, weights=values, minlength=n_cells)
+        acc[1] += np.bincount(flat_idx, minlength=n_cells)
+    elif op is ReductionOp.MIN:
+        np.minimum.at(acc, flat_idx, values)
+    elif op is ReductionOp.MAX:
+        np.maximum.at(acc, flat_idx, values)
+    else:  # pragma: no cover - enum is closed
+        raise BinningError(f"unhandled reduction {op}")
+
+
+def bin_cpu(
+    flat_idx: np.ndarray,
+    values: np.ndarray | None,
+    op: ReductionOp,
+    n_cells: int,
+) -> np.ndarray:
+    """Bin one variable on the host; returns the raw accumulator grid.
+
+    The caller finalizes (``op.finalize``) after any cross-rank merge.
+    """
+    flat_idx = np.asarray(flat_idx, dtype=np.int64)
+    if flat_idx.size and (flat_idx.min() < 0 or flat_idx.max() >= n_cells):
+        raise BinningError(
+            f"flat index out of range [0, {n_cells}): "
+            f"[{flat_idx.min()}, {flat_idx.max()}]"
+        )
+    acc = op.make_accumulator(n_cells)
+    if flat_idx.size:
+        apply_binned_update(acc, flat_idx, values, op, n_cells)
+    return acc

@@ -1,0 +1,135 @@
+"""Device (CUDA/HIP) data-binning implementation on virtual GPUs.
+
+Numerics are identical to the host path (they run through numpy on the
+buffer storage); what differs is *where* the work is charged.  The
+binning kernel's memory traffic is dominated by atomic read-modify-
+write updates — every realization increments/updates a bin shared with
+other GPU threads — so a large ``atomic_fraction`` is passed to the
+roofline model.  This reproduces the paper's observation that "data
+binning is not an ideal algorithm for GPUs".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.cpu import apply_binned_update
+from repro.binning.reduce import ReductionOp
+from repro.errors import BinningError
+from repro.hamr.allocator import Allocator
+from repro.hamr.buffer import Buffer
+from repro.hamr.stream import Stream, StreamMode
+from repro.hw.clock import SimClock, TimedEvent
+from repro.pm.kernels import KernelCost, launch
+
+__all__ = ["bin_device", "binning_kernel_cost"]
+
+#: Fraction of the binning kernel's traffic that is atomic updates.
+#: Derived from the access pattern: per realization we stream the index
+#: (8 B) and value (8 B) and atomically update the bin (~16 B of RMW
+#: traffic), so roughly half the bytes contend.
+ATOMIC_TRAFFIC_FRACTION = 0.5
+
+
+def binning_kernel_cost(n_rows: int, op: ReductionOp) -> KernelCost:
+    """Roofline work descriptor for binning ``n_rows`` realizations."""
+    n_rows = int(n_rows)
+    reads = 8 * n_rows  # flat indices
+    if op.needs_values:
+        reads += 8 * n_rows
+    rmw = 16 * n_rows  # atomic read-modify-write on the bins
+    if op is ReductionOp.AVERAGE:
+        rmw *= 2  # sum and count grids both updated
+    total = reads + rmw
+    return KernelCost(
+        flops=4.0 * n_rows,
+        bytes_moved=float(total),
+        atomic_fraction=(rmw / total) if total else 0.0,
+    )
+
+
+def bin_device(
+    flat_idx: Buffer,
+    values: Buffer | None,
+    op: ReductionOp,
+    n_cells: int,
+    device_id: int,
+    stream: Stream | None = None,
+    mode: StreamMode = StreamMode.SYNC,
+    clock: SimClock | None = None,
+    strategy=None,
+) -> tuple[Buffer, TimedEvent]:
+    """Bin one variable on a virtual device.
+
+    ``flat_idx`` (int64) and ``values`` (float64, unless COUNT) must be
+    accessible on ``device_id``.  Returns the raw accumulator grid as a
+    device buffer plus the kernel's completion event; callers finalize
+    after any cross-rank merge.
+
+    ``strategy`` selects how races are resolved — the paper's atomic
+    implementation by default, or one of the optimized strategies from
+    :mod:`repro.binning.strategies` (its Section 5 future work).
+    """
+    from repro.binning.strategies import (
+        BinningStrategy,
+        apply_sorted_update,
+        effective_strategy,
+        strategy_kernel_cost,
+    )
+
+    if op.needs_values and values is None:
+        raise BinningError(f"{op.value} reduction requires values")
+    if strategy is None:
+        strategy = BinningStrategy.ATOMIC
+    strategy = effective_strategy(strategy, n_cells, op)
+    n_acc = int(np.prod(op.accumulator_shape(n_cells)))
+    acc = Buffer.allocate(
+        n_acc,
+        np.float64,
+        allocator=Allocator.CUDA,
+        device_id=device_id,
+        stream=stream,
+        stream_mode=mode,
+        name=f"bins[{op.value}]",
+    )
+    shape = op.accumulator_shape(n_cells)
+    if op is ReductionOp.AVERAGE:
+        acc.data[:] = 0.0
+    else:
+        acc.data[:] = op.identity
+
+    cost = strategy_kernel_cost(strategy, flat_idx.size, n_cells, op)
+    reads = [flat_idx] + ([values] if values is not None else [])
+
+    def kernel(*arrays: np.ndarray) -> None:
+        idx = arrays[0].astype(np.int64, copy=False)
+        if idx.size and (idx.min() < 0 or idx.max() >= n_cells):
+            raise BinningError(
+                f"flat index out of range [0, {n_cells}): "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        vals = arrays[1] if op.needs_values else None
+        out = arrays[-1].reshape(shape)
+        if not idx.size:
+            return
+        if strategy is BinningStrategy.SORTED:
+            apply_sorted_update(out, idx, vals, op)
+        else:
+            # ATOMIC and PRIVATIZED differ in cost, not in the scatter
+            # result; privatization is a scheduling optimization.
+            apply_binned_update(out, idx, vals, op, n_cells)
+
+    ev = launch(
+        kernel,
+        reads=reads,
+        writes=[acc],
+        device_id=device_id,
+        flops=cost.flops,
+        bytes_moved=cost.bytes_moved,
+        atomic_fraction=cost.atomic_fraction,
+        stream=stream,
+        mode=mode,
+        clock=clock,
+        name=f"binning[{op.value},{strategy.value}]",
+    )
+    return acc, ev

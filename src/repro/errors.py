@@ -1,0 +1,105 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AllocationError",
+    "DeviceOutOfMemoryError",
+    "InvalidAllocatorError",
+    "StreamError",
+    "SynchronizationError",
+    "LocationError",
+    "InteropError",
+    "UninitializedArrayError",
+    "ShapeMismatchError",
+    "MPIError",
+    "RankMismatchError",
+    "ConfigError",
+    "PlacementError",
+    "ExecutionError",
+    "SolverError",
+    "BinningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class AllocationError(ReproError):
+    """A memory allocation request could not be satisfied."""
+
+
+class DeviceOutOfMemoryError(AllocationError):
+    """A virtual device ran out of simulated memory capacity."""
+
+    def __init__(self, device: object, requested: int, available: int):
+        self.device = device
+        self.requested = int(requested)
+        self.available = int(available)
+        super().__init__(
+            f"device {device} out of memory: requested {requested} bytes, "
+            f"{available} bytes available"
+        )
+
+
+class InvalidAllocatorError(AllocationError):
+    """An allocator was used with an incompatible device or PM."""
+
+
+class StreamError(ReproError):
+    """Invalid use of a stream (wrong device, closed stream, ...)."""
+
+
+class SynchronizationError(StreamError):
+    """An operation observed data that was not yet synchronized."""
+
+
+class LocationError(ReproError):
+    """Data was not where an operation required it to be."""
+
+
+class InteropError(ReproError):
+    """Two programming models could not interoperate as requested."""
+
+
+class UninitializedArrayError(ReproError):
+    """A data array was used before it was initialized."""
+
+
+class ShapeMismatchError(ReproError):
+    """Array shapes/lengths incompatible for the requested operation."""
+
+
+class MPIError(ReproError):
+    """Failure in the simulated MPI layer."""
+
+
+class RankMismatchError(MPIError):
+    """A collective was invoked with inconsistent participation."""
+
+
+class ConfigError(ReproError):
+    """Malformed or semantically invalid run-time XML configuration."""
+
+
+class PlacementError(ReproError):
+    """An in situ placement request could not be honored."""
+
+
+class ExecutionError(ReproError):
+    """Failure while executing an analysis back-end."""
+
+
+class SolverError(ReproError):
+    """Failure inside the Newton++ solver."""
+
+
+class BinningError(ReproError):
+    """Failure inside the data-binning analysis."""

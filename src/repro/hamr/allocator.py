@@ -1,0 +1,177 @@
+"""The ``svtkAllocator`` enumeration and its capability queries.
+
+An allocator value selects the programming model (PM), and the specific
+method within that PM, used to allocate and subsequently manage a piece
+of memory.  The set mirrors the paper's Section 2: "SENSEI currently
+supports OpenMP offload, CUDA, and HIP allocators as well as host only
+allocators using malloc, and new.  The CUDA and HIP allocators come in
+synchronous and asynchronous variants, variants that allocate
+universally addressable memory, as well as variants for allocating page
+locked memory."
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import InvalidAllocatorError
+
+__all__ = ["PMKind", "Allocator", "HOST_DEVICE_ID", "default_allocator_for"]
+
+
+#: Device ordinal used to denote host memory throughout the package.
+HOST_DEVICE_ID = -1
+
+
+class PMKind(enum.Enum):
+    """The programming models the data model interoperates between.
+
+    CUDA, HIP, OpenMP offload, and host are what the paper ships;
+    SYCL and Kokkos are the additions its Section 5 plans ("We will
+    also add support for SYCL as well as third party PMs such as
+    Kokkos"), implemented here.
+    """
+
+    HOST = "host"
+    CUDA = "cuda"
+    HIP = "hip"
+    OPENMP = "openmp"
+    SYCL = "sycl"
+    KOKKOS = "kokkos"
+
+    @property
+    def is_device_pm(self) -> bool:
+        return self is not PMKind.HOST
+
+
+class Allocator(enum.Enum):
+    """Which PM, and which method within the PM, manages an allocation."""
+
+    # Host-only allocators.
+    MALLOC = "malloc"
+    NEW = "new"
+
+    # CUDA PM.
+    CUDA = "cuda"                      # cudaMalloc
+    CUDA_ASYNC = "cuda_async"          # cudaMallocAsync (stream ordered)
+    CUDA_UVA = "cuda_uva"              # cudaMallocManaged (universally addressable)
+    CUDA_HOST = "cuda_host"            # cudaMallocHost (page-locked host)
+
+    # HIP PM.
+    HIP = "hip"
+    HIP_ASYNC = "hip_async"
+    HIP_UVA = "hip_uva"
+    HIP_HOST = "hip_host"
+
+    # OpenMP device offload (omp_target_alloc).
+    OPENMP = "openmp"
+
+    # SYCL unified shared memory (paper Section 5 future work).
+    SYCL = "sycl"                      # sycl::malloc_device
+    SYCL_SHARED = "sycl_shared"        # sycl::malloc_shared (migratable)
+    SYCL_HOST = "sycl_host"            # sycl::malloc_host (device-visible host)
+
+    # Kokkos memory spaces (paper Section 5 future work).
+    KOKKOS = "kokkos"                  # Kokkos::kokkos_malloc<DeviceSpace>()
+
+    # -- capability queries ---------------------------------------------------
+    @property
+    def pm_kind(self) -> PMKind:
+        """The programming model that owns allocations of this kind."""
+        return _PM_OF[self]
+
+    @property
+    def is_host_resident(self) -> bool:
+        """True if allocations live in host memory (pinned ones included)."""
+        return self in (
+            Allocator.MALLOC,
+            Allocator.NEW,
+            Allocator.CUDA_HOST,
+            Allocator.HIP_HOST,
+            Allocator.SYCL_HOST,
+        )
+
+    @property
+    def is_device_resident(self) -> bool:
+        """True if allocations live in device memory."""
+        return not self.is_host_resident
+
+    @property
+    def is_async(self) -> bool:
+        """True for stream-ordered allocation variants."""
+        return self in (Allocator.CUDA_ASYNC, Allocator.HIP_ASYNC)
+
+    @property
+    def is_uva(self) -> bool:
+        """True for universally addressable (managed/unified) variants."""
+        return self in (
+            Allocator.CUDA_UVA,
+            Allocator.HIP_UVA,
+            Allocator.SYCL_SHARED,
+        )
+
+    @property
+    def is_pinned_host(self) -> bool:
+        """True for device-visible (page-locked) host variants."""
+        return self in (
+            Allocator.CUDA_HOST,
+            Allocator.HIP_HOST,
+            Allocator.SYCL_HOST,
+        )
+
+    def validate_device(self, device_id: int) -> None:
+        """Raise unless ``device_id`` is legal for this allocator."""
+        if self.is_host_resident:
+            if device_id != HOST_DEVICE_ID:
+                raise InvalidAllocatorError(
+                    f"host allocator {self.name} cannot target device {device_id}"
+                )
+        else:
+            if device_id < 0:
+                raise InvalidAllocatorError(
+                    f"device allocator {self.name} requires a device, "
+                    f"got device_id={device_id}"
+                )
+
+
+_PM_OF = {
+    Allocator.MALLOC: PMKind.HOST,
+    Allocator.NEW: PMKind.HOST,
+    Allocator.CUDA: PMKind.CUDA,
+    Allocator.CUDA_ASYNC: PMKind.CUDA,
+    Allocator.CUDA_UVA: PMKind.CUDA,
+    Allocator.CUDA_HOST: PMKind.CUDA,
+    Allocator.HIP: PMKind.HIP,
+    Allocator.HIP_ASYNC: PMKind.HIP,
+    Allocator.HIP_UVA: PMKind.HIP,
+    Allocator.HIP_HOST: PMKind.HIP,
+    Allocator.OPENMP: PMKind.OPENMP,
+    Allocator.SYCL: PMKind.SYCL,
+    Allocator.SYCL_SHARED: PMKind.SYCL,
+    Allocator.SYCL_HOST: PMKind.SYCL,
+    Allocator.KOKKOS: PMKind.KOKKOS,
+}
+
+
+def default_allocator_for(pm: PMKind, device_id: int) -> Allocator:
+    """The allocator a PM-agnostic move targets for a given location.
+
+    Host destinations use ``MALLOC``; device destinations use the
+    requesting PM's plain device allocator (OpenMP has only one).
+    """
+    if device_id == HOST_DEVICE_ID:
+        return Allocator.MALLOC
+    if pm is PMKind.CUDA:
+        return Allocator.CUDA
+    if pm is PMKind.HIP:
+        return Allocator.HIP
+    if pm is PMKind.OPENMP:
+        return Allocator.OPENMP
+    if pm is PMKind.SYCL:
+        return Allocator.SYCL
+    if pm is PMKind.KOKKOS:
+        return Allocator.KOKKOS
+    raise InvalidAllocatorError(
+        f"PM {pm} cannot allocate on device {device_id}; "
+        "host PM allocations must target host memory"
+    )

@@ -1,0 +1,115 @@
+"""Stream-ordered memory pools (``cudaMallocAsync`` semantics).
+
+The asynchronous allocator variants the data model exposes
+(``CUDA_ASYNC`` / ``HIP_ASYNC``) are *pool* allocators on real parts:
+freed blocks return to a per-device pool instead of the OS/driver, and
+subsequent same-size allocations are satisfied from the pool at a
+fraction of a fresh allocation's cost.  The trade-off is footprint —
+pooled memory still counts against the device (the OOM concern that
+motivates zero-copy transfer), until the pool is trimmed.
+
+:class:`MemoryPool` reproduces that behaviour on the simulated
+substrate with size-bucketed free lists; the buffer layer consults the
+pool for asynchronous allocators automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+from repro.hw.device import ComputeResource
+from repro.units import us
+
+__all__ = ["MemoryPool", "pool_for", "reset_pools"]
+
+#: Cost of servicing an allocation from the pool (pointer bump).
+POOL_HIT_COST = us(1.0)
+
+
+class MemoryPool:
+    """A size-bucketed free-list pool bound to one compute resource.
+
+    - ``acquire(nbytes)`` → True if served from the pool (no new device
+      memory claimed), False if a fresh claim was made on the resource;
+    - ``release(nbytes)`` returns a block to the pool: the bytes stay
+      claimed on the resource (the footprint the paper worries about);
+    - ``trim()`` returns pooled bytes to the device, like
+      ``cudaMemPoolTrimTo(0)``.
+    """
+
+    def __init__(self, resource: ComputeResource):
+        self.resource = resource
+        self._buckets: dict[int, int] = defaultdict(int)  # nbytes -> count
+        self._pooled_bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Bytes held by the pool (claimed on the device, not in use)."""
+        with self._lock:
+            return self._pooled_bytes
+
+    def acquire(self, nbytes: int) -> bool:
+        """Obtain a block; returns True on a pool hit.
+
+        A miss claims fresh memory on the resource (which may raise
+        :class:`~repro.errors.DeviceOutOfMemoryError` — pools do not
+        magically create capacity).
+        """
+        nbytes = int(nbytes)
+        with self._lock:
+            if self._buckets.get(nbytes, 0) > 0:
+                self._buckets[nbytes] -= 1
+                self._pooled_bytes -= nbytes
+                self.hits += 1
+                return True
+        self.resource.claim_memory(nbytes)
+        with self._lock:
+            self.misses += 1
+        return False
+
+    def release(self, nbytes: int) -> None:
+        """Return a block to the pool (footprint unchanged)."""
+        nbytes = int(nbytes)
+        with self._lock:
+            self._buckets[nbytes] += 1
+            self._pooled_bytes += nbytes
+
+    def trim(self) -> int:
+        """Release all pooled blocks back to the device; returns bytes."""
+        with self._lock:
+            freed = self._pooled_bytes
+            self._buckets.clear()
+            self._pooled_bytes = 0
+        if freed:
+            self.resource.release_memory(freed)
+        return freed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryPool({self.resource.name!r}, pooled={self.pooled_bytes}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_pools_lock = threading.Lock()
+_pools: dict[int, MemoryPool] = {}
+
+
+def pool_for(resource: ComputeResource) -> MemoryPool:
+    """The (process-wide) pool bound to ``resource``."""
+    with _pools_lock:
+        pool = _pools.get(id(resource))
+        if pool is None:
+            pool = MemoryPool(resource)
+            _pools[id(resource)] = pool
+        return pool
+
+
+def reset_pools() -> None:
+    """Drop all pools (test helper)."""
+    with _pools_lock:
+        _pools.clear()

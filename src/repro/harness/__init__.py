@@ -1,0 +1,57 @@
+"""Experiment harness — regenerates the paper's Table 1 and Figures 1-3.
+
+The evaluation asks: "given a fixed number of compute nodes, each with
+multiple accelerators and CPU cores, what is the most effective way to
+utilize the available resources for in situ processing?"  Eight cases
+are studied: {lockstep, asynchronous} x {all on host, same device, one
+dedicated device, two dedicated devices} (Table 1), on 128 Perlmutter
+nodes / 512 A100s, with Newton++ at 24M bodies feeding 90 data-binning
+operations per iteration.
+
+Two complementary run modes:
+
+- :func:`~repro.harness.runner.simulate` — replays a case at **paper
+  scale** on the calibrated cost model (analytic composition of the
+  same roofline/link/contention terms the substrate charges), yielding
+  the Figure 2/3 series;
+- :func:`~repro.harness.runner.execute_small` — actually runs the full
+  Newton++ + SENSEI + binning stack at laptop scale on one virtual
+  node, with real numerics and the substrate's simulated clocks; used
+  by tests, examples, and the Figure 1 bench.
+"""
+
+from repro.harness.spec import InSituPlacement, RunSpec, table1_matrix
+from repro.harness.calibrate import PaperWorkload, SmallWorkload, harness_contention
+from repro.harness.runner import RunResult, execute_small, simulate
+from repro.harness.report import (
+    format_fig2,
+    format_fig3,
+    format_table1,
+    verify_findings,
+)
+from repro.harness.scaling import (
+    ScalingPoint,
+    parallel_efficiency,
+    strong_scaling,
+    weak_scaling,
+)
+
+__all__ = [
+    "InSituPlacement",
+    "RunSpec",
+    "table1_matrix",
+    "PaperWorkload",
+    "SmallWorkload",
+    "harness_contention",
+    "RunResult",
+    "simulate",
+    "execute_small",
+    "format_table1",
+    "format_fig2",
+    "format_fig3",
+    "verify_findings",
+    "ScalingPoint",
+    "strong_scaling",
+    "weak_scaling",
+    "parallel_efficiency",
+]

@@ -1,0 +1,95 @@
+"""Scaling studies over the placement model.
+
+The paper fixes 128 nodes; a natural follow-on question — and the kind
+of planning the harness exists for — is how the placement trade-offs
+move with machine size and problem size.  Two standard studies:
+
+- **strong scaling**: fixed total bodies, growing node count.  The
+  solver's per-rank O(n_local * N) work shrinks per node while the
+  collectives grow, so parallel efficiency decays and the in situ share
+  of an iteration grows with it;
+- **weak scaling**: bodies per rank fixed, growing node count.  Direct
+  n-body is O(N^2), so per-rank work *grows* with the machine — weak
+  scaling in the HPC sense applies to the binning analysis (constant
+  local rows), which is the interesting side here.
+
+Both produce series of :class:`~repro.harness.runner.RunResult` that
+the report helpers can render.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.harness.calibrate import PaperWorkload
+from repro.harness.runner import RunResult, simulate
+from repro.harness.spec import InSituPlacement, RunSpec
+from repro.sensei.execution import ExecutionMethod
+
+__all__ = ["ScalingPoint", "strong_scaling", "weak_scaling", "parallel_efficiency"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One node count in a scaling series."""
+
+    nodes: int
+    result: RunResult
+
+    @property
+    def total_ranks(self) -> int:
+        return self.result.spec.total_ranks
+
+    @property
+    def iter_time(self) -> float:
+        return self.result.iter_time
+
+
+def strong_scaling(
+    placement: InSituPlacement,
+    method: ExecutionMethod,
+    node_counts: Sequence[int],
+    workload: PaperWorkload | None = None,
+) -> list[ScalingPoint]:
+    """Fixed problem size across growing machines."""
+    w = workload if workload is not None else PaperWorkload()
+    points = []
+    for nodes in node_counts:
+        spec = RunSpec(placement, method, nodes=int(nodes))
+        points.append(ScalingPoint(nodes=int(nodes), result=simulate(spec, w)))
+    return points
+
+
+def weak_scaling(
+    placement: InSituPlacement,
+    method: ExecutionMethod,
+    node_counts: Sequence[int],
+    bodies_per_rank: int = 46_875,
+    workload: PaperWorkload | None = None,
+) -> list[ScalingPoint]:
+    """Fixed bodies per rank across growing machines."""
+    base = workload if workload is not None else PaperWorkload()
+    points = []
+    for nodes in node_counts:
+        spec = RunSpec(placement, method, nodes=int(nodes))
+        w = dataclasses.replace(
+            base, n_bodies=int(bodies_per_rank) * spec.total_ranks
+        )
+        points.append(ScalingPoint(nodes=int(nodes), result=simulate(spec, w)))
+    return points
+
+
+def parallel_efficiency(points: Sequence[ScalingPoint]) -> list[float]:
+    """Strong-scaling efficiency relative to the smallest machine.
+
+    ``eff_i = (t_0 * R_0) / (t_i * R_i)`` over per-iteration times —
+    1.0 means perfect scaling.
+    """
+    if not points:
+        return []
+    t0, r0 = points[0].iter_time, points[0].total_ranks
+    return [
+        (t0 * r0) / (p.iter_time * p.total_ranks) for p in points
+    ]

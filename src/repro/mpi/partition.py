@@ -1,0 +1,59 @@
+"""Domain-decomposition helpers.
+
+Newton++ assigns "a unique spatial subdomain of the simulated volume"
+to each MPI rank (paper Section 4.1).  These helpers implement the two
+decompositions the solver uses: block ranges over item indices, and
+slab subdomains over a coordinate interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MPIError
+
+__all__ = ["block_range", "slab_bounds", "owner_of"]
+
+
+def block_range(n: int, size: int, rank: int) -> tuple[int, int]:
+    """Contiguous ``[start, stop)`` share of ``n`` items for ``rank``.
+
+    Remainder items go to the lowest ranks, so shares differ by at most
+    one — the standard balanced block distribution.
+    """
+    if size < 1 or not 0 <= rank < size:
+        raise MPIError(f"invalid rank/size: {rank}/{size}")
+    if n < 0:
+        raise MPIError(f"negative item count: {n}")
+    base, extra = divmod(n, size)
+    start = rank * base + min(rank, extra)
+    stop = start + base + (1 if rank < extra else 0)
+    return start, stop
+
+
+def slab_bounds(
+    lo: float, hi: float, size: int, rank: int
+) -> tuple[float, float]:
+    """Rank's slab ``[low, high)`` of the interval ``[lo, hi)``."""
+    if size < 1 or not 0 <= rank < size:
+        raise MPIError(f"invalid rank/size: {rank}/{size}")
+    if not hi > lo:
+        raise MPIError(f"empty interval: [{lo}, {hi})")
+    width = (hi - lo) / size
+    low = lo + rank * width
+    high = hi if rank == size - 1 else lo + (rank + 1) * width
+    return low, high
+
+
+def owner_of(x: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    """Owning rank of each coordinate in a slab decomposition.
+
+    Coordinates outside ``[lo, hi)`` are clamped to the boundary ranks,
+    matching the solver's treatment of escaping bodies.
+    """
+    if size < 1:
+        raise MPIError(f"size must be >= 1: {size}")
+    x = np.asarray(x, dtype=np.float64)
+    width = (hi - lo) / size
+    idx = np.floor((x - lo) / width).astype(np.int64)
+    return np.clip(idx, 0, size - 1)

@@ -1,0 +1,56 @@
+"""Nonblocking communication requests."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a nonblocking send or receive.
+
+    ``wait`` blocks until the operation completes and returns the
+    received object (receives) or ``None`` (sends).  ``test`` polls.
+    """
+
+    def __init__(self, resolve: Callable[[float | None], Any]):
+        # ``resolve(timeout)`` performs/completes the operation; it must
+        # raise queue.Empty-style TimeoutError when not ready in time.
+        self._resolve = resolve
+        self._done = False
+        self._value: Any = None
+        self._lock = threading.Lock()
+
+    def wait(self, timeout: float | None = None) -> Any:
+        """Block until complete; returns the payload (or None for sends)."""
+        with self._lock:
+            if not self._done:
+                self._value = self._resolve(timeout)
+                self._done = True
+            return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        """Nonblocking completion check: ``(done, payload_or_None)``."""
+        with self._lock:
+            if self._done:
+                return True, self._value
+            try:
+                self._value = self._resolve(0.0)
+            except TimeoutError:
+                return False, None
+            self._done = True
+            return True, self._value
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done
+
+    @staticmethod
+    def completed(value: Any = None) -> "Request":
+        """An already-finished request (used by eager sends)."""
+        r = Request(lambda timeout: value)
+        r.wait()
+        return r

@@ -1,0 +1,58 @@
+"""The second-order, time-reversible, symplectic integrator.
+
+Kick-drift-kick leapfrog: half-step velocity kick, full-step position
+drift, half-step kick with re-evaluated accelerations.  Symplectic and
+time reversible — integrating forward then backward with ``-dt``
+returns to the initial state to round-off, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.newton.bodies import Bodies
+
+__all__ = ["leapfrog_step"]
+
+AccelFn = Callable[[np.ndarray], np.ndarray]
+
+
+def leapfrog_step(
+    bodies: Bodies,
+    dt: float,
+    accel_fn: AccelFn,
+    acc: np.ndarray | None = None,
+) -> np.ndarray:
+    """Advance ``bodies`` in place by one KDK step; returns end-of-step
+    accelerations (pass back in as ``acc`` to avoid re-evaluating).
+
+    ``accel_fn(positions)`` evaluates accelerations at given positions
+    (``(n, 3) -> (n, 3)``).  ``dt`` may be negative (time reversal).
+    """
+    if dt == 0.0:
+        raise SolverError("dt must be nonzero")
+    n = bodies.n
+    if acc is None:
+        acc = accel_fn(bodies.positions)
+    acc = np.asarray(acc, dtype=np.float64)
+    if acc.shape != (n, 3):
+        raise SolverError(f"acc must be ({n}, 3), got {acc.shape}")
+
+    half = 0.5 * dt
+    # Kick (half).
+    bodies.vx += half * acc[:, 0]
+    bodies.vy += half * acc[:, 1]
+    bodies.vz += half * acc[:, 2]
+    # Drift (full).
+    bodies.x += dt * bodies.vx
+    bodies.y += dt * bodies.vy
+    bodies.z += dt * bodies.vz
+    # Kick (half) with updated forces.
+    acc2 = np.asarray(accel_fn(bodies.positions), dtype=np.float64)
+    bodies.vx += half * acc2[:, 0]
+    bodies.vy += half * acc2[:, 1]
+    bodies.vz += half * acc2[:, 2]
+    return acc2

@@ -1,0 +1,67 @@
+"""Newton++ output: VTK-compatible snapshots and binary checkpoints.
+
+"[Newton++] has a VTK compatible output format for post processing and
+visualization." (paper Section 4.1)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.newton.bodies import Bodies
+from repro.svtk.data_array import HostDataArray
+from repro.svtk.writer import write_vtk_particles
+
+__all__ = ["write_snapshot", "write_checkpoint", "read_checkpoint"]
+
+
+def write_snapshot(bodies: Bodies, path: str | os.PathLike) -> Path:
+    """Write bodies as a VTK POLYDATA point cloud with attributes."""
+    path = Path(path)
+    pos = [
+        HostDataArray("x", bodies.x),
+        HostDataArray("y", bodies.y),
+        HostDataArray("z", bodies.z),
+    ]
+    attrs = [
+        HostDataArray("vx", bodies.vx),
+        HostDataArray("vy", bodies.vy),
+        HostDataArray("vz", bodies.vz),
+        HostDataArray("mass", bodies.mass),
+    ]
+    write_vtk_particles(pos, path, attributes=attrs)
+    return path
+
+
+def write_checkpoint(
+    bodies: Bodies, path: str | os.PathLike, step: int = 0, time: float = 0.0
+) -> Path:
+    """Write a restartable binary checkpoint (.npz)."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        x=bodies.x, y=bodies.y, z=bodies.z,
+        vx=bodies.vx, vy=bodies.vy, vz=bodies.vz,
+        mass=bodies.mass, ids=bodies.ids,
+        step=np.int64(step), time=np.float64(time),
+    )
+    # np.savez appends .npz when missing; report the real file.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def read_checkpoint(path: str | os.PathLike) -> tuple[Bodies, int, float]:
+    """Load a checkpoint; returns ``(bodies, step, time)``."""
+    path = Path(path)
+    if not path.exists():
+        raise SolverError(f"checkpoint not found: {path}")
+    with np.load(path) as data:
+        bodies = Bodies(
+            data["x"], data["y"], data["z"],
+            data["vx"], data["vy"], data["vz"],
+            data["mass"], data["ids"],
+        )
+        return bodies, int(data["step"]), float(data["time"])

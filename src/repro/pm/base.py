@@ -1,0 +1,99 @@
+"""Programming-model base class."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.errors import InteropError, LocationError
+from repro.hamr.allocator import HOST_DEVICE_ID, Allocator, PMKind
+from repro.hamr.buffer import Buffer
+from repro.hamr.stream import Stream, StreamMode
+from repro.hw.clock import SimClock, TimedEvent
+from repro.hw.node import get_node
+
+__all__ = ["ProgrammingModel"]
+
+
+class ProgrammingModel(ABC):
+    """One execution environment (CUDA, HIP, OpenMP offload, or host).
+
+    Subclasses declare their allocator set and execution targets; kernel
+    launches delegate to :func:`repro.pm.kernels.launch` with this PM's
+    identity attached for reporting and interop checks.
+    """
+
+    #: The PMKind this model implements.
+    kind: PMKind
+
+    #: Allocators this PM provides.
+    allocators: frozenset[Allocator]
+
+    #: Whether this PM executes on accelerators (False: host only).
+    targets_devices: bool
+
+    #: Whether kernels can also execute on the host.  CUDA and HIP
+    #: cannot; OpenMP offload, SYCL, and Kokkos all have host backends.
+    host_fallback: bool = False
+
+    def owns_allocator(self, allocator: Allocator) -> bool:
+        return allocator in self.allocators
+
+    def validate_target(self, device_id: int) -> None:
+        """Raise unless this PM can execute on ``device_id``."""
+        if device_id == HOST_DEVICE_ID:
+            if self.targets_devices and not self.host_fallback:
+                raise LocationError(
+                    f"{self.kind.value} kernels cannot execute on the host"
+                )
+            return
+        if not self.targets_devices:
+            raise LocationError(
+                f"{self.kind.value} PM cannot execute on device {device_id}"
+            )
+        get_node().device(device_id)  # existence check
+
+    def launch(
+        self,
+        fn: Callable[..., object],
+        reads: Sequence[Buffer] = (),
+        writes: Sequence[Buffer] = (),
+        device_id: int = HOST_DEVICE_ID,
+        flops: float = 0.0,
+        bytes_moved: float = 0.0,
+        atomic_fraction: float = 0.0,
+        stream: Stream | None = None,
+        mode: StreamMode = StreamMode.SYNC,
+        clock: SimClock | None = None,
+        name: str = "",
+        cores: int | None = None,
+    ) -> TimedEvent:
+        """Launch a kernel in this PM.  See :func:`repro.pm.kernels.launch`."""
+        from repro.pm.kernels import launch as _launch
+
+        self.validate_target(device_id)
+        for b in (*reads, *writes):
+            if not b.device_accessible(device_id):
+                raise InteropError(
+                    f"{self.kind.value} kernel on device {device_id} cannot "
+                    f"access buffer {b.name!r} resident on "
+                    f"{'host' if b.on_host else f'device {b.device_id}'}; "
+                    "obtain an accessible view first"
+                )
+        return _launch(
+            fn,
+            reads=reads,
+            writes=writes,
+            device_id=device_id,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            atomic_fraction=atomic_fraction,
+            stream=stream,
+            mode=mode,
+            clock=clock,
+            name=name or f"{self.kind.value}-kernel",
+            cores=cores,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

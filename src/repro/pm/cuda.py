@@ -1,0 +1,29 @@
+"""The CUDA programming model (simulated).
+
+The paper's in situ data-binning analysis is written in CUDA
+(Section 4.2); Listing 3 shows the access-API usage pattern this PM
+supports: ``cudaSetDevice`` → ``GetCUDAAccessible`` → direct kernel
+launch on a stream.
+"""
+
+from __future__ import annotations
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+
+__all__ = ["CudaPM"]
+
+
+class CudaPM(ProgrammingModel):
+    """NVIDIA CUDA: device allocators in sync/async/UVA/pinned variants."""
+
+    kind = PMKind.CUDA
+    targets_devices = True
+    allocators = frozenset(
+        {
+            Allocator.CUDA,
+            Allocator.CUDA_ASYNC,
+            Allocator.CUDA_UVA,
+            Allocator.CUDA_HOST,
+        }
+    )

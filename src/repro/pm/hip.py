@@ -1,0 +1,29 @@
+"""The HIP programming model (simulated).
+
+SENSEI's data model supports HIP allocators alongside CUDA and OpenMP
+(paper Section 2); on single-vendor nodes HIP device pointers are
+interchangeable with the other device PMs' pointers, which is what the
+interop matrix in :mod:`repro.pm.registry` encodes.
+"""
+
+from __future__ import annotations
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+
+__all__ = ["HipPM"]
+
+
+class HipPM(ProgrammingModel):
+    """AMD HIP: device allocators in sync/async/UVA/pinned variants."""
+
+    kind = PMKind.HIP
+    targets_devices = True
+    allocators = frozenset(
+        {
+            Allocator.HIP,
+            Allocator.HIP_ASYNC,
+            Allocator.HIP_UVA,
+            Allocator.HIP_HOST,
+        }
+    )

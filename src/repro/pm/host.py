@@ -1,0 +1,21 @@
+"""The host-only programming model (plain C++ in the paper).
+
+Listing 4's ``libB`` — a writer that consumes data through the
+host-accessible view — is the canonical host-PM client: it never knows
+which PM produced the data or where it lived.
+"""
+
+from __future__ import annotations
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+
+__all__ = ["HostPM"]
+
+
+class HostPM(ProgrammingModel):
+    """Host-only execution with ``malloc``/``new`` allocators."""
+
+    kind = PMKind.HOST
+    targets_devices = False
+    allocators = frozenset({Allocator.MALLOC, Allocator.NEW})

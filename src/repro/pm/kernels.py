@@ -1,0 +1,117 @@
+"""Kernel launch on virtual devices.
+
+A kernel here is a Python callable operating on the numpy arrays behind
+a set of buffers.  The callable runs eagerly (numerics are real), while
+the simulated duration — from the target resource's roofline model — is
+scheduled on a stream and recorded against the device timeline.  Output
+buffers carry the completion event as a pending dependency, so
+downstream synchronization behaves exactly as stream-ordered device
+work does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.hamr.allocator import HOST_DEVICE_ID
+from repro.hamr.buffer import Buffer
+from repro.hamr.runtime import current_clock
+from repro.hamr.stream import Stream, StreamMode, default_stream
+from repro.hw.clock import EventCategory, SimClock, TimedEvent
+from repro.hw.node import get_node
+
+__all__ = ["KernelCost", "launch"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Work descriptor used to derive a kernel's simulated duration."""
+
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    atomic_fraction: float = 0.0
+
+    def __add__(self, other: "KernelCost") -> "KernelCost":
+        total_bytes = self.bytes_moved + other.bytes_moved
+        if total_bytes > 0:
+            atomic = (
+                self.bytes_moved * self.atomic_fraction
+                + other.bytes_moved * other.atomic_fraction
+            ) / total_bytes
+        else:
+            atomic = 0.0
+        return KernelCost(self.flops + other.flops, total_bytes, atomic)
+
+
+def launch(
+    fn: Callable[..., object],
+    reads: Sequence[Buffer] = (),
+    writes: Sequence[Buffer] = (),
+    device_id: int = HOST_DEVICE_ID,
+    flops: float = 0.0,
+    bytes_moved: float = 0.0,
+    atomic_fraction: float = 0.0,
+    stream: Stream | None = None,
+    mode: StreamMode = StreamMode.SYNC,
+    clock: SimClock | None = None,
+    name: str = "kernel",
+    cores: int | None = None,
+) -> TimedEvent:
+    """Execute ``fn(*read_arrays, *write_arrays)`` as a device kernel.
+
+    Parameters
+    ----------
+    fn:
+        Callable receiving the read arrays followed by the write arrays.
+        Its return value is ignored; results go into the write arrays.
+    reads, writes:
+        Buffers the kernel consumes / produces.  All must already be
+        accessible on ``device_id`` (use the access APIs to stage them).
+    device_id:
+        Execution target; ``HOST_DEVICE_ID`` runs on the host CPU.
+    flops, bytes_moved, atomic_fraction:
+        Roofline work descriptor; see
+        :meth:`repro.hw.device.VirtualDevice.kernel_time`.
+    mode:
+        ``SYNC`` blocks the issuing clock until completion; ``ASYNC``
+        returns immediately with the completion pending on the stream
+        and the write buffers.
+    cores:
+        For host execution, how many CPU cores the kernel may use.
+    """
+    clock = clock if clock is not None else current_clock()
+    node = get_node()
+    resource = node.resource(device_id)
+    if stream is None:
+        stream = default_stream(device_id)
+
+    # A kernel may not start before its operands are valid.
+    after = 0.0
+    for b in (*reads, *writes):
+        after = max(after, b.ready_at)
+
+    # Real numerics, simulated time.
+    fn(*[b.data for b in reads], *[b.data for b in writes])
+
+    if resource.is_host:
+        dur = resource.kernel_time(
+            flops=flops,
+            bytes_moved=bytes_moved,
+            atomic_fraction=atomic_fraction,
+            cores=cores,
+        )
+    else:
+        dur = resource.kernel_time(
+            flops=flops, bytes_moved=bytes_moved, atomic_fraction=atomic_fraction
+        )
+
+    ev = stream.enqueue(
+        clock, dur, name=name, category=EventCategory.COMPUTE, mode=mode, after=after
+    )
+    # Mirror onto the device's own timeline for utilization reporting
+    # (without serializing: independent streams may overlap on a device).
+    resource.timeline.record(ev.start, ev.end, name=name, category=EventCategory.COMPUTE)
+    for b in writes:
+        b.mark_pending(ev)
+    return ev

@@ -1,0 +1,23 @@
+"""The Kokkos programming model (simulated).
+
+The paper's Section 5 future work: "... as well as third party PMs such
+as Kokkos".  Kokkos is a C++ performance-portability layer whose
+device memory space maps to one allocator here; its host (Serial /
+OpenMP) backends make host execution legal, like OpenMP offload.
+"""
+
+from __future__ import annotations
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+
+__all__ = ["KokkosPM"]
+
+
+class KokkosPM(ProgrammingModel):
+    """Kokkos: one device-space allocator; host backends available."""
+
+    kind = PMKind.KOKKOS
+    targets_devices = True
+    host_fallback = True
+    allocators = frozenset({Allocator.KOKKOS})

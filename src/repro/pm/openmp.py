@@ -1,0 +1,26 @@
+"""The OpenMP target-offload programming model (simulated).
+
+The Newton++ simulation is parallelized with OpenMP device offload
+(paper Section 4.1); Listing 1 shows the ``omp_target_alloc`` +
+``target teams distribute parallel for`` pattern this PM stands in for.
+OpenMP offload can also execute on the host (no device available, or
+``device(omp_get_initial_device())``), which is why
+:meth:`validate_target` in the base class permits host execution for
+this PM.
+"""
+
+from __future__ import annotations
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+
+__all__ = ["OpenMPPM"]
+
+
+class OpenMPPM(ProgrammingModel):
+    """OpenMP target offload: one device allocator (``omp_target_alloc``)."""
+
+    kind = PMKind.OPENMP
+    targets_devices = True
+    host_fallback = True
+    allocators = frozenset({Allocator.OPENMP})

@@ -1,0 +1,71 @@
+"""PM registry and interoperability matrix.
+
+"Our strategy is to manage data using the selected PM and provide
+interoperability with all of the supported PMs so that data can be
+passed between any two codes, including those written in different PMs,
+and those targeting execution on different accelerators or the host."
+(paper, Section 2)
+
+On the simulated node (as on Perlmutter), every device PM's pointers
+are raw device addresses in a per-device address space, so any device
+PM can consume any other device PM's memory *when it is resident where
+the consumer executes*; host PMs can consume host-resident (including
+page-locked and UVA) memory.  The matrix below records that — the cost
+of crossing PMs is therefore purely a *location* question, answered by
+the data-movement engine.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InteropError
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+from repro.pm.cuda import CudaPM
+from repro.pm.hip import HipPM
+from repro.pm.host import HostPM
+from repro.pm.kokkos import KokkosPM
+from repro.pm.openmp import OpenMPPM
+from repro.pm.sycl import SyclPM
+
+__all__ = ["get_pm", "registered_pms", "can_interoperate", "pm_for_allocator"]
+
+_PMS: dict[PMKind, ProgrammingModel] = {
+    PMKind.HOST: HostPM(),
+    PMKind.CUDA: CudaPM(),
+    PMKind.HIP: HipPM(),
+    PMKind.OPENMP: OpenMPPM(),
+    PMKind.SYCL: SyclPM(),
+    PMKind.KOKKOS: KokkosPM(),
+}
+
+
+def get_pm(kind: PMKind) -> ProgrammingModel:
+    """The singleton PM object for ``kind``."""
+    try:
+        return _PMS[kind]
+    except KeyError:  # pragma: no cover - PMKind is closed
+        raise InteropError(f"unknown programming model: {kind!r}") from None
+
+
+def registered_pms() -> tuple[ProgrammingModel, ...]:
+    """All supported programming models."""
+    return tuple(_PMS.values())
+
+
+def pm_for_allocator(allocator: Allocator) -> ProgrammingModel:
+    """The PM that owns allocations made with ``allocator``."""
+    return get_pm(allocator.pm_kind)
+
+
+def can_interoperate(producer: PMKind, consumer: PMKind) -> bool:
+    """True if ``consumer`` code can read memory managed by ``producer``.
+
+    Always true in this model: the data model mediates every pairing,
+    staging data into the consumer's space when required.  The function
+    exists so back-ends can assert the guarantee and so alternative
+    (more restrictive) hardware models can be expressed by swapping the
+    registry.
+    """
+    get_pm(producer)
+    get_pm(consumer)
+    return True

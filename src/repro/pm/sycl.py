@@ -1,0 +1,32 @@
+"""The SYCL programming model (simulated).
+
+The paper's Section 5 future work: "We will also add support for
+SYCL...".  SYCL's unified-shared-memory model maps directly onto the
+allocator taxonomy the data model already has: ``malloc_device`` is a
+plain device allocation, ``malloc_shared`` is universally addressable
+(migratable, like CUDA managed memory), and ``malloc_host`` is
+device-visible host memory.  SYCL also always exposes a host device,
+so host execution is legal.
+"""
+
+from __future__ import annotations
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+
+__all__ = ["SyclPM"]
+
+
+class SyclPM(ProgrammingModel):
+    """SYCL: device / shared / host USM allocators; host device available."""
+
+    kind = PMKind.SYCL
+    targets_devices = True
+    host_fallback = True
+    allocators = frozenset(
+        {
+            Allocator.SYCL,
+            Allocator.SYCL_SHARED,
+            Allocator.SYCL_HOST,
+        }
+    )

@@ -1,0 +1,52 @@
+"""User-callback back-end — SENSEI's Python-analysis equivalent.
+
+Wraps an arbitrary callable ``fn(table, time_step, time, comm,
+device_id)`` as a full analysis adaptor, so ad hoc analyses inherit
+placement and execution-method control for free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExecutionError
+from repro.mpi.comm import Communicator
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.backends.binning import BinningPayload
+from repro.sensei.data_adaptor import DataAdaptor
+from repro.sensei.execution import deep_copy_table
+from repro.svtk.table import TableData
+
+__all__ = ["CallbackAnalysis"]
+
+
+class CallbackAnalysis(AnalysisAdaptor):
+    """Run a user callable as an in situ analysis."""
+
+    def __init__(
+        self,
+        mesh_name: str,
+        fn: Callable[[TableData, int, float, Communicator, int], None],
+        name: str = "",
+    ):
+        super().__init__(name or f"callback[{getattr(fn, '__name__', 'fn')}]")
+        if not callable(fn):
+            raise ExecutionError("CallbackAnalysis requires a callable")
+        self.mesh_name = str(mesh_name)
+        self.fn = fn
+
+    def acquire(self, data: DataAdaptor, deep: bool) -> BinningPayload:
+        table = data.get_mesh(self.mesh_name)
+        if not isinstance(table, TableData):
+            raise ExecutionError(
+                f"callback consumes tabular meshes; {self.mesh_name!r} is "
+                f"{type(table).__name__}"
+            )
+        if deep:
+            table = deep_copy_table(table)
+        return BinningPayload(table=table, time_step=data.time_step, time=data.time)
+
+    def process(
+        self, payload: BinningPayload, comm: Communicator, device_id: int
+    ) -> None:
+        self.fn(payload.table, payload.time_step, payload.time, comm, device_id)

@@ -1,0 +1,50 @@
+"""A 1-D histogram back-end (SENSEI's classic smoke-test analysis).
+
+Counts one array's values into uniformly spaced bins with globally
+consistent bounds.  Internally this is a one-axis data binning, which
+means it automatically supports every placement and execution method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.binning.axes import AxisSpec
+from repro.sensei.backends.binning import BinningAnalysis
+from repro.svtk.mesh import UniformCartesianMesh
+
+__all__ = ["HistogramAnalysis"]
+
+
+class HistogramAnalysis(BinningAnalysis):
+    """Histogram of one column of a tabular mesh."""
+
+    def __init__(
+        self,
+        mesh_name: str,
+        array: str,
+        bins: int = 10,
+        low: float | None = None,
+        high: float | None = None,
+        name: str = "",
+    ):
+        super().__init__(
+            mesh_name,
+            axes=[AxisSpec(array, int(bins), low, high)],
+            name=name or f"histogram[{array}]",
+        )
+        self.array = str(array)
+        self.bins = int(bins)
+
+    def counts(self) -> np.ndarray:
+        """The latest histogram counts (empty array before any step)."""
+        if self.latest is None:
+            return np.array([])
+        return self.latest.cell_array_as_grid("count")
+
+    def edges(self) -> np.ndarray:
+        """Bin edges matching :meth:`counts`."""
+        if self.latest is None:
+            return np.array([])
+        mesh: UniformCartesianMesh = self.latest
+        return mesh.cell_edges(0)

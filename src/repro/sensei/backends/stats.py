@@ -1,0 +1,104 @@
+"""Descriptive-statistics back-end.
+
+The classic SENSEI smoke-test analysis alongside the histogram: per
+array, the global minimum / maximum / mean / standard deviation across
+all ranks each step.  Statistics merge exactly (not by averaging
+averages): each rank contributes ``(n, sum, sum of squares, min, max)``
+and the moments are combined, so the result is identical to a serial
+computation over the concatenated data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.mpi.comm import Communicator
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.backends.binning import BinningPayload
+from repro.sensei.data_adaptor import DataAdaptor
+from repro.sensei.execution import deep_copy_table
+from repro.svtk.table import TableData
+
+__all__ = ["ColumnStats", "StatisticsAnalysis"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Global statistics of one column at one step."""
+
+    name: str
+    n: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+
+
+class StatisticsAnalysis(AnalysisAdaptor):
+    """Global min/max/mean/std of selected columns, every executed step.
+
+    ``columns=None`` processes every column of the mesh.  Results are
+    kept per step in :attr:`history` (list of dicts keyed by column).
+    """
+
+    def __init__(self, mesh_name: str, columns: list[str] | None = None,
+                 name: str = ""):
+        super().__init__(name or f"statistics[{mesh_name}]")
+        self.mesh_name = str(mesh_name)
+        self.columns = list(columns) if columns is not None else None
+        self.history: list[dict[str, ColumnStats]] = []
+
+    def acquire(self, data: DataAdaptor, deep: bool) -> BinningPayload:
+        table = data.get_mesh(self.mesh_name)
+        if not isinstance(table, TableData):
+            raise ExecutionError(
+                f"statistics consumes tabular meshes; {self.mesh_name!r} is "
+                f"{type(table).__name__}"
+            )
+        wanted = self.columns if self.columns is not None else list(table.column_names)
+        missing = [c for c in wanted if c not in table]
+        if missing:
+            raise ExecutionError(
+                f"mesh {self.mesh_name!r} lacks columns {missing}"
+            )
+        if deep:
+            subset = TableData(table.name)
+            for c in wanted:
+                subset.add_column(table.column(c))
+            table = deep_copy_table(subset)
+        return BinningPayload(table=table, time_step=data.time_step,
+                              time=data.time)
+
+    def process(self, payload: BinningPayload, comm: Communicator,
+                device_id: int) -> None:
+        table = payload.table
+        wanted = self.columns if self.columns is not None else list(table.column_names)
+        step_stats: dict[str, ColumnStats] = {}
+        for col in wanted:
+            values = np.asarray(table.column(col).as_numpy_host(), dtype=np.float64)
+            n = int(values.size)
+            s = float(values.sum()) if n else 0.0
+            sq = float(np.square(values).sum()) if n else 0.0
+            lo = float(values.min()) if n else np.inf
+            hi = float(values.max()) if n else -np.inf
+            # Exact distributed merge of the raw moments.
+            n = comm.allreduce(n, "sum")
+            s = comm.allreduce(s, "sum")
+            sq = comm.allreduce(sq, "sum")
+            lo = comm.allreduce(lo, "min")
+            hi = comm.allreduce(hi, "max")
+            if n:
+                mean = s / n
+                var = max(0.0, sq / n - mean * mean)
+                stats = ColumnStats(col, n, lo, hi, mean, float(np.sqrt(var)))
+            else:
+                stats = ColumnStats(col, 0, np.nan, np.nan, np.nan, np.nan)
+            step_stats[col] = stats
+        self.history.append(step_stats)
+
+    @property
+    def latest(self) -> dict[str, ColumnStats] | None:
+        return self.history[-1] if self.history else None

@@ -1,0 +1,89 @@
+"""Post hoc I/O back-end: writes particle state for offline visualization.
+
+Newton++ "has a VTK compatible output format for post processing and
+visualization" (paper Section 4.1); this back-end provides that path
+through SENSEI, so any instrumented simulation gains it.  (The paper's
+evaluation runs disabled post hoc I/O; the harness does the same.)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.errors import ExecutionError
+from repro.mpi.comm import Communicator
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.backends.binning import BinningPayload
+from repro.sensei.data_adaptor import DataAdaptor
+from repro.sensei.execution import deep_copy_table
+from repro.svtk.table import TableData
+from repro.svtk.writer import write_csv_table, write_vtk_particles
+
+__all__ = ["PosthocIO"]
+
+
+class PosthocIO(AnalysisAdaptor):
+    """Writes the named mesh to disk every ``frequency`` steps.
+
+    ``fmt`` selects ``"vtk"`` (POLYDATA point cloud; requires the
+    coordinate columns to exist) or ``"csv"`` (whole table).  Output
+    files are ``{output_dir}/{mesh}_{step:06d}_r{rank}.{ext}``.
+    """
+
+    def __init__(
+        self,
+        mesh_name: str,
+        output_dir: str | os.PathLike,
+        frequency: int = 1,
+        fmt: str = "vtk",
+        coords: tuple[str, str, str] = ("x", "y", "z"),
+        name: str = "",
+    ):
+        super().__init__(name or f"posthoc_io[{mesh_name}]")
+        if fmt not in ("vtk", "csv"):
+            raise ExecutionError(f"unknown format {fmt!r}; use 'vtk' or 'csv'")
+        self.set_frequency(frequency)  # cadence comes from the base class
+        self.mesh_name = str(mesh_name)
+        self.output_dir = Path(output_dir)
+        self.fmt = fmt
+        self.coords = tuple(coords)
+        self.files_written: list[Path] = []
+
+    def acquire(self, data: DataAdaptor, deep: bool) -> BinningPayload:
+        table = data.get_mesh(self.mesh_name)
+        if not isinstance(table, TableData):
+            raise ExecutionError(
+                f"posthoc_io writes tabular meshes; {self.mesh_name!r} is "
+                f"{type(table).__name__}"
+            )
+        if deep:
+            table = deep_copy_table(table)
+        return BinningPayload(table=table, time_step=data.time_step, time=data.time)
+
+    def process(
+        self, payload: BinningPayload, comm: Communicator, device_id: int
+    ) -> None:
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        ext = "vtk" if self.fmt == "vtk" else "csv"
+        path = (
+            self.output_dir
+            / f"{self.mesh_name}_{payload.time_step:06d}_r{comm.rank}.{ext}"
+        )
+        table = payload.table
+        if self.fmt == "csv":
+            write_csv_table(table, path)
+        else:
+            pos = [table.column(c) for c in self.coords if c in table]
+            if not pos:
+                raise ExecutionError(
+                    f"mesh {self.mesh_name!r} has none of the coordinate "
+                    f"columns {self.coords}"
+                )
+            attrs = [
+                table.column(c)
+                for c in table.column_names
+                if c not in self.coords
+            ]
+            write_vtk_particles(pos, path, attributes=attrs)
+        self.files_written.append(path)

@@ -1,0 +1,294 @@
+"""In transit execution: analysis on dedicated endpoint ranks.
+
+Beyond on-node placement (the paper's focus), the SENSEI ecosystem also
+moves data *off node* to dedicated analysis resources — the M-to-N
+in transit mode (the paper's related work compares such strategies, and
+its Section 1 lists "data transport" back-ends among SENSEI's
+couplings).  This module implements that mode on the simulated
+substrate, complementing the on-node placements:
+
+- ``M`` simulation ranks produce data; ``N`` endpoint ranks consume it
+  (``N < M`` typically — the whole point is concentrating analysis on
+  fewer resources);
+- an :class:`InTransitLayout` fixes the M-to-N redistribution (block
+  mapping: producer ``r`` sends to endpoint ``r * N // M``);
+- the simulation side instruments exactly like the in situ case —
+  :class:`InTransitBridge` has the ``initialize`` / ``execute`` /
+  ``finalize`` surface of :class:`repro.sensei.bridge.Bridge`, so a
+  solver switches between in situ and in transit without code changes
+  (SENSEI's run-time-switchable promise);
+- each endpoint assembles its producers' tables and runs ordinary
+  analysis back-ends against the endpoints' own sub-communicator, so
+  reductions span the full dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError, MPIError
+from repro.hamr.runtime import current_clock
+from repro.mpi.comm import Communicator, run_spmd
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.data_adaptor import DataAdaptor, TableDataAdaptor
+from repro.svtk.table import TableData
+
+__all__ = ["InTransitLayout", "InTransitBridge", "EndpointRunner", "run_in_transit"]
+
+#: Message tag space: step payloads use the step number; shutdown uses -1.
+_SHUTDOWN_TAG = 1
+
+
+@dataclass(frozen=True)
+class InTransitLayout:
+    """The M-to-N redistribution map inside one world of ``m + n`` ranks.
+
+    World ranks ``[0, m)`` are producers (simulation); ``[m, m + n)``
+    are endpoints (analysis).
+    """
+
+    m: int
+    n: int
+
+    def __post_init__(self):
+        if self.m < 1 or self.n < 1:
+            raise ExecutionError(f"need m >= 1 and n >= 1, got {self.m}/{self.n}")
+        if self.n > self.m:
+            raise ExecutionError(
+                f"more endpoints ({self.n}) than producers ({self.m}) "
+                "defeats the purpose of in transit analysis"
+            )
+
+    @property
+    def world_size(self) -> int:
+        return self.m + self.n
+
+    def is_producer(self, world_rank: int) -> bool:
+        return 0 <= world_rank < self.m
+
+    def is_endpoint(self, world_rank: int) -> bool:
+        return self.m <= world_rank < self.world_size
+
+    def endpoint_of(self, producer: int) -> int:
+        """World rank of the endpoint serving ``producer``."""
+        if not self.is_producer(producer):
+            raise ExecutionError(f"rank {producer} is not a producer")
+        return self.m + producer * self.n // self.m
+
+    def producers_of(self, endpoint: int) -> list[int]:
+        """World ranks of the producers an endpoint serves."""
+        if not self.is_endpoint(endpoint):
+            raise ExecutionError(f"rank {endpoint} is not an endpoint")
+        return [p for p in range(self.m) if self.endpoint_of(p) == endpoint]
+
+
+def _serialize_table(table: TableData) -> dict[str, np.ndarray]:
+    """Host-staged column payload (data movement charged by the comm)."""
+    out = {}
+    for name in table.column_names:
+        out[name] = np.ascontiguousarray(table.column(name).as_numpy_host())
+    return out
+
+
+class InTransitBridge:
+    """The simulation-side instrumentation for in transit analysis.
+
+    Drop-in for :class:`repro.sensei.bridge.Bridge`: ``initialize``,
+    ``execute(data_adaptor)``, ``finalize``.  Each ``execute`` ships the
+    published mesh to this producer's endpoint; ``finalize`` sends the
+    shutdown marker.
+    """
+
+    def __init__(self, layout: InTransitLayout, mesh_name: str = "bodies"):
+        self.layout = layout
+        self.mesh_name = str(mesh_name)
+        self._world: Communicator | None = None
+        self._endpoint: int | None = None
+        self._initialized = False
+        self._finalized = False
+        self.step_costs: list[float] = []
+
+    def initialize(self, world_comm: Communicator) -> None:
+        if self._initialized:
+            raise ExecutionError("in transit bridge already initialized")
+        if not self.layout.is_producer(world_comm.rank):
+            raise ExecutionError(
+                f"rank {world_comm.rank} is not a producer in this layout"
+            )
+        self._world = world_comm
+        self._endpoint = self.layout.endpoint_of(world_comm.rank)
+        self._initialized = True
+
+    def execute(self, data: DataAdaptor) -> bool:
+        if not self._initialized:
+            raise ExecutionError("initialize the in transit bridge first")
+        if self._finalized:
+            raise ExecutionError("in transit bridge already finalized")
+        clock = current_clock()
+        t0 = clock.now
+        table = data.get_mesh(self.mesh_name)
+        if not isinstance(table, TableData):
+            raise ExecutionError(
+                f"in transit transport ships tables; {self.mesh_name!r} is "
+                f"{type(table).__name__}"
+            )
+        payload = (data.time_step, data.time, _serialize_table(table))
+        self._world.send(payload, dest=self._endpoint, tag=0)
+        self.step_costs.append(clock.now - t0)
+        return True
+
+    def finalize(self) -> None:
+        if self._finalized or not self._initialized:
+            self._finalized = True
+            return
+        self._world.send(None, dest=self._endpoint, tag=_SHUTDOWN_TAG)
+        self._finalized = True
+
+    @property
+    def total_apparent_time(self) -> float:
+        """Simulated time the producer spent shipping data."""
+        return sum(self.step_costs)
+
+
+class EndpointRunner:
+    """One analysis endpoint: receives, assembles, analyzes.
+
+    ``serve`` loops until every producer has sent its shutdown marker.
+    Steps are processed in order; each step's tables from all producers
+    are concatenated into one local table, and the analyses run against
+    the endpoints' sub-communicator so reductions are global.
+    """
+
+    def __init__(
+        self,
+        layout: InTransitLayout,
+        world_comm: Communicator,
+        endpoint_comm: Communicator,
+        analyses: Sequence[AnalysisAdaptor],
+        mesh_name: str = "bodies",
+    ):
+        if not layout.is_endpoint(world_comm.rank):
+            raise ExecutionError(
+                f"rank {world_comm.rank} is not an endpoint in this layout"
+            )
+        self.layout = layout
+        self.world = world_comm
+        self.endpoint_comm = endpoint_comm
+        self.analyses = list(analyses)
+        self.mesh_name = str(mesh_name)
+        self.producers = layout.producers_of(world_comm.rank)
+        self.steps_processed = 0
+
+    def _assemble(self, payloads: list[dict[str, np.ndarray]]) -> TableData:
+        table = TableData(self.mesh_name)
+        if not payloads:
+            return table
+        names = list(payloads[0])
+        for p in payloads[1:]:
+            if list(p) != names:
+                raise MPIError("producers shipped inconsistent column sets")
+        for name in names:
+            table.add_host_column(
+                name, np.concatenate([p[name] for p in payloads])
+            )
+        return table
+
+    def serve(self) -> int:
+        """Process steps until shutdown; returns the step count."""
+        for a in self.analyses:
+            a.initialize(self.endpoint_comm)
+        live = set(self.producers)
+        adaptor = TableDataAdaptor(comm=self.endpoint_comm)
+        while live:
+            step_payloads: list[dict[str, np.ndarray]] = []
+            step_id, step_time = None, 0.0
+            for p in sorted(live):
+                msg = self._recv_step_or_shutdown(p)
+                if msg is None:
+                    live.discard(p)
+                    continue
+                ts, tt, cols = msg
+                if step_id is None:
+                    step_id, step_time = ts, tt
+                elif ts != step_id:
+                    raise MPIError(
+                        f"producer {p} is at step {ts}, expected {step_id}"
+                    )
+                step_payloads.append(cols)
+            if not step_payloads:
+                break
+            table = self._assemble(step_payloads)
+            adaptor.set_table(self.mesh_name, table)
+            adaptor.set_step(step_id, step_time)
+            for a in self.analyses:
+                a.execute(adaptor)
+            self.steps_processed += 1
+        for a in self.analyses:
+            a.finalize()
+        return self.steps_processed
+
+    def _recv_step_or_shutdown(self, producer: int):
+        """The next message from ``producer``: a step payload or None.
+
+        Step messages (tag 0) and the final shutdown marker (tag 1)
+        travel in separate mailboxes, so pending steps must be drained
+        before the shutdown is honored: a producer sends every step
+        *before* its shutdown, hence once the shutdown is visible, any
+        step it sent is already queued.
+        """
+        while True:
+            try:
+                return self.world.recv(source=producer, tag=0, timeout=0.05)
+            except TimeoutError:
+                pass
+            done, _ = self.world.irecv(source=producer, tag=_SHUTDOWN_TAG).test()
+            if done:
+                # All step sends happened before the shutdown send; one
+                # final nonblocking drain closes the race window.
+                try:
+                    return self.world.recv(source=producer, tag=0, timeout=0.001)
+                except TimeoutError:
+                    return None
+
+
+def run_in_transit(
+    layout: InTransitLayout,
+    producer_main: Callable[[Communicator, InTransitBridge], object],
+    analyses_factory: Callable[[], Sequence[AnalysisAdaptor]],
+    mesh_name: str = "bodies",
+) -> tuple[list[object], list[object]]:
+    """Launch an M-producer / N-endpoint in transit run.
+
+    ``producer_main(sim_comm, bridge)`` runs on each producer with a
+    sub-communicator spanning the producers only, instrumented with an
+    :class:`InTransitBridge` (call ``bridge.execute`` per step;
+    ``finalize`` is invoked automatically afterwards).
+    ``analyses_factory()`` builds each endpoint's analysis set.
+
+    Returns ``(producer_results, endpoint_runners)``.
+    """
+
+    def world_main(comm: Communicator):
+        if layout.is_producer(comm.rank):
+            sim_comm = comm.split(color=0, key=comm.rank)
+            bridge = InTransitBridge(layout, mesh_name)
+            bridge.initialize(comm)
+            try:
+                result = producer_main(sim_comm, bridge)
+            finally:
+                bridge.finalize()
+            return ("producer", result)
+        endpoint_comm = comm.split(color=1, key=comm.rank)
+        runner = EndpointRunner(
+            layout, comm, endpoint_comm, analyses_factory(), mesh_name
+        )
+        runner.serve()
+        return ("endpoint", runner)
+
+    out = run_spmd(layout.world_size, world_main)
+    producers = [r for kind, r in out if kind == "producer"]
+    endpoints = [r for kind, r in out if kind == "endpoint"]
+    return producers, endpoints

@@ -1,0 +1,128 @@
+"""Run-time XML configuration parsing.
+
+SENSEI selects and configures back-ends at run time from an XML file;
+the paper's evaluation drives all 9 binning operator instances this way
+(Section 4.3) and exposes the new execution/placement controls as
+attributes.  The schema::
+
+    <sensei>
+      <analysis type="data_binning" enabled="1" mesh="bodies"
+                axes="x,y" bins="256,256"
+                variables="mass:sum,vx:average"
+                execution="asynchronous"
+                placement="auto" n_use="1" stride="1" offset="3"/>
+      <analysis type="histogram" mesh="bodies" array="mass" bins="64"/>
+      <analysis type="posthoc_io" mesh="bodies" output_dir="./out"
+                frequency="10" format="csv"/>
+    </sensei>
+
+Common attributes (every ``<analysis>``):
+
+- ``type`` (required) — back-end registry key;
+- ``enabled`` — "1"/"0" (default enabled);
+- ``execution`` — ``lockstep`` (default) or ``asynchronous``;
+- ``placement`` — ``auto`` (default), ``host``, or ``manual``;
+- ``device`` — device ordinal for manual placement;
+- ``n_use`` / ``stride`` / ``offset`` — Eq. 1 parameters for auto
+  placement (``devices_per_node`` is accepted as an alias of
+  ``n_use``).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = ["AnalysisConfig", "parse_xml", "parse_file"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """One parsed ``<analysis>`` element."""
+
+    type: str
+    enabled: bool = True
+    attrs: dict[str, str] = field(default_factory=dict)
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        return self.attrs.get(key, default)
+
+    def require(self, key: str) -> str:
+        try:
+            return self.attrs[key]
+        except KeyError:
+            raise ConfigError(
+                f"analysis type={self.type!r} requires attribute {key!r}"
+            ) from None
+
+    def get_int(self, key: str, default: int | None = None) -> int | None:
+        raw = self.attrs.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"analysis type={self.type!r}: attribute {key!r} must be an "
+                f"integer, got {raw!r}"
+            ) from None
+
+    def get_float(self, key: str, default: float | None = None) -> float | None:
+        raw = self.attrs.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"analysis type={self.type!r}: attribute {key!r} must be a "
+                f"number, got {raw!r}"
+            ) from None
+
+    def get_list(self, key: str, default: list[str] | None = None) -> list[str]:
+        raw = self.attrs.get(key)
+        if raw is None:
+            return list(default or [])
+        return [item.strip() for item in raw.split(",") if item.strip()]
+
+
+def parse_xml(text: str) -> list[AnalysisConfig]:
+    """Parse a SENSEI XML document into analysis configs."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConfigError(f"malformed XML: {exc}") from exc
+    if root.tag != "sensei":
+        raise ConfigError(f"root element must be <sensei>, got <{root.tag}>")
+    configs: list[AnalysisConfig] = []
+    for child in root:
+        if child.tag != "analysis":
+            raise ConfigError(
+                f"unexpected element <{child.tag}>; only <analysis> is allowed"
+            )
+        attrs = dict(child.attrib)
+        atype = attrs.pop("type", None)
+        if not atype:
+            raise ConfigError("<analysis> element missing the 'type' attribute")
+        enabled_raw = attrs.pop("enabled", "1").strip().lower()
+        if enabled_raw in ("1", "true", "yes", "on"):
+            enabled = True
+        elif enabled_raw in ("0", "false", "no", "off"):
+            enabled = False
+        else:
+            raise ConfigError(f"invalid enabled value {enabled_raw!r}")
+        configs.append(AnalysisConfig(type=atype, enabled=enabled, attrs=attrs))
+    return configs
+
+
+def parse_file(path: str | Path) -> list[AnalysisConfig]:
+    """Parse a SENSEI XML configuration file."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read config {path}: {exc}") from exc
+    return parse_xml(text)

@@ -1,0 +1,70 @@
+"""Multi-block datasets — the per-rank collections SENSEI exchanges.
+
+In SENSEI each MPI rank contributes its local block(s) of a
+distributed dataset; the data adaptor presents them as a multi-block
+collection indexed by global block id.  Blocks may be tables or meshes
+(anything the data model defines).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ShapeMismatchError
+
+__all__ = ["MultiBlockData"]
+
+
+class MultiBlockData:
+    """A sparse, block-id-indexed collection of datasets.
+
+    On a given rank only the locally owned blocks are populated; the
+    global structure (``n_blocks``) is shared so that back-ends can
+    reason about the whole dataset.
+    """
+
+    def __init__(self, n_blocks: int, name: str = "multiblock"):
+        if n_blocks < 0:
+            raise ShapeMismatchError(f"n_blocks must be >= 0: {n_blocks}")
+        self.name = str(name)
+        self.n_blocks = int(n_blocks)
+        self._blocks: dict[int, object] = {}
+
+    def set_block(self, block_id: int, dataset: object) -> None:
+        if not 0 <= block_id < self.n_blocks:
+            raise ShapeMismatchError(
+                f"block id {block_id} out of range [0, {self.n_blocks})"
+            )
+        self._blocks[block_id] = dataset
+
+    def block(self, block_id: int) -> object:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise KeyError(
+                f"block {block_id} is not local; local blocks: {sorted(self._blocks)}"
+            ) from None
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    @property
+    def local_block_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._blocks))
+
+    @property
+    def n_local_blocks(self) -> int:
+        return len(self._blocks)
+
+    def local_blocks(self) -> Iterator[tuple[int, object]]:
+        for bid in self.local_block_ids:
+            yield bid, self._blocks[bid]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.local_block_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiBlockData({self.name!r}, n_blocks={self.n_blocks}, "
+            f"local={self.local_block_ids})"
+        )

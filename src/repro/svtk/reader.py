@@ -1,0 +1,186 @@
+"""Readers for the legacy-ASCII VTK files the writers produce.
+
+Post hoc tooling needs to load what the in situ pipeline wrote; these
+readers parse the two legacy VTK dialects
+:mod:`repro.svtk.writer` emits (``STRUCTURED_POINTS`` with cell data,
+and ``POLYDATA`` point clouds) back into data-model objects, and CSV
+tables back into :class:`~repro.svtk.table.TableData`.  They are strict
+about the subset they support and raise clear errors otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.svtk.mesh import UniformCartesianMesh
+from repro.svtk.table import TableData
+
+__all__ = ["read_vtk_image", "read_vtk_particles", "read_csv_table", "VtkParseError"]
+
+
+class VtkParseError(ReproError):
+    """The file is not in the supported legacy-VTK subset."""
+
+
+class _Lines:
+    """A peekable, blank-skipping line cursor."""
+
+    def __init__(self, text: str):
+        self._lines = [ln.strip() for ln in text.splitlines()]
+        self._pos = 0
+
+    def next(self) -> str:
+        while self._pos < len(self._lines):
+            ln = self._lines[self._pos]
+            self._pos += 1
+            if ln:
+                return ln
+        raise VtkParseError("unexpected end of file")
+
+    def peek(self) -> str | None:
+        pos = self._pos
+        try:
+            ln = self.next()
+        except VtkParseError:
+            return None
+        self._pos = pos
+        return ln
+
+    def read_values(self, count: int) -> np.ndarray:
+        out: list[float] = []
+        while len(out) < count:
+            out.extend(float(v) for v in self.next().split())
+        if len(out) != count:
+            raise VtkParseError(
+                f"expected {count} values, got {len(out)} (ragged data block)"
+            )
+        return np.array(out)
+
+
+def _check_header(cur: _Lines) -> str:
+    magic = cur.next()
+    if not magic.startswith("# vtk DataFile"):
+        raise VtkParseError(f"not a legacy VTK file: {magic!r}")
+    title = cur.next()
+    fmt = cur.next()
+    if fmt != "ASCII":
+        raise VtkParseError(f"only ASCII files are supported, got {fmt!r}")
+    return title
+
+
+def _read_scalars(cur: _Lines, n: int) -> tuple[str, np.ndarray]:
+    header = cur.next().split()
+    if header[0] != "SCALARS" or len(header) < 3:
+        raise VtkParseError(f"expected SCALARS header, got {' '.join(header)!r}")
+    name = header[1]
+    n_comp = int(header[3]) if len(header) > 3 else 1
+    lut = cur.next()
+    if not lut.startswith("LOOKUP_TABLE"):
+        raise VtkParseError(f"expected LOOKUP_TABLE, got {lut!r}")
+    return name, cur.read_values(n * n_comp)
+
+
+def read_vtk_image(path: str | os.PathLike) -> UniformCartesianMesh:
+    """Read a STRUCTURED_POINTS file written by :func:`write_vtk_image`.
+
+    Trailing singleton axes (written for 1-D/2-D meshes) are dropped so
+    a round trip preserves the original mesh rank.
+    """
+    cur = _Lines(Path(path).read_text(encoding="ascii"))
+    title = _check_header(cur)
+    if cur.next() != "DATASET STRUCTURED_POINTS":
+        raise VtkParseError("not a STRUCTURED_POINTS dataset")
+    dims = origin = spacing = None
+    for _ in range(3):
+        key, *vals = cur.next().split()
+        if key == "DIMENSIONS":
+            dims = [int(v) - 1 for v in vals]  # points -> cells
+        elif key == "ORIGIN":
+            origin = [float(v) for v in vals]
+        elif key == "SPACING":
+            spacing = [float(v) for v in vals]
+        else:
+            raise VtkParseError(f"unexpected geometry key {key!r}")
+    if dims is None or origin is None or spacing is None:
+        raise VtkParseError("missing DIMENSIONS/ORIGIN/SPACING")
+    # Single-point padding planes (0 cells) mark axes the original mesh
+    # did not have; drop them to restore its rank.
+    while len(dims) > 1 and dims[-1] == 0:
+        dims, origin, spacing = dims[:-1], origin[:-1], spacing[:-1]
+    if any(d < 1 for d in dims):
+        raise VtkParseError(f"degenerate interior axis in DIMENSIONS: {dims}")
+    mesh = UniformCartesianMesh(dims, origin=origin, spacing=spacing, name=title)
+
+    section = cur.next().split()
+    if section[0] == "POINT_DATA":
+        if int(section[1]) != mesh.n_points:
+            raise VtkParseError(
+                f"expected POINT_DATA {mesh.n_points}, got {section[1]}"
+            )
+        while cur.peek() is not None and not cur.peek().startswith("CELL_DATA"):
+            name, values = _read_scalars(cur, mesh.n_points)
+            mesh.add_host_point_array(name, values)
+        section = cur.next().split()
+    if section[0] != "CELL_DATA" or int(section[1]) != mesh.n_cells:
+        raise VtkParseError(
+            f"expected CELL_DATA {mesh.n_cells}, got {' '.join(section)}"
+        )
+    while cur.peek() is not None:
+        name, values = _read_scalars(cur, mesh.n_cells)
+        mesh.add_host_cell_array(name, values)
+    return mesh
+
+
+def read_vtk_particles(path: str | os.PathLike) -> TableData:
+    """Read a POLYDATA point cloud written by :func:`write_vtk_particles`.
+
+    Returns a table with columns ``x``, ``y``, ``z`` plus one column
+    per POINT_DATA scalar.
+    """
+    cur = _Lines(Path(path).read_text(encoding="ascii"))
+    _check_header(cur)
+    if cur.next() != "DATASET POLYDATA":
+        raise VtkParseError("not a POLYDATA dataset")
+    key, n_str, _dtype = cur.next().split()
+    if key != "POINTS":
+        raise VtkParseError(f"expected POINTS, got {key!r}")
+    n = int(n_str)
+    xyz = cur.read_values(3 * n).reshape(n, 3)
+    table = TableData("particles")
+    for i, name in enumerate(("x", "y", "z")):
+        table.add_host_column(name, xyz[:, i])
+
+    ln = cur.peek()
+    if ln is not None and ln.startswith("POINT_DATA"):
+        _, count = cur.next().split()
+        if int(count) != n:
+            raise VtkParseError(f"POINT_DATA count {count} != POINTS {n}")
+        while cur.peek() is not None:
+            name, values = _read_scalars(cur, n)
+            table.add_host_column(name, values)
+    return table
+
+
+def read_csv_table(path: str | os.PathLike) -> TableData:
+    """Read a CSV written by :func:`repro.svtk.writer.write_csv_table`."""
+    lines = Path(path).read_text(encoding="ascii").strip().splitlines()
+    if not lines or not lines[0]:
+        return TableData()
+    names = lines[0].split(",")
+    rows = [
+        [float(v) for v in ln.split(",")] for ln in lines[1:] if ln
+    ]
+    for i, row in enumerate(rows):
+        if len(row) != len(names):
+            raise VtkParseError(
+                f"row {i + 1} has {len(row)} fields, header has {len(names)}"
+            )
+    data = np.array(rows) if rows else np.empty((0, len(names)))
+    table = TableData()
+    for i, name in enumerate(names):
+        table.add_host_column(name, data[:, i])
+    return table

@@ -1,0 +1,129 @@
+"""Tests for binning axes: bounds and index computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binning.axes import AxisSpec, bin_index, compute_bounds, flat_bin_index
+from repro.errors import BinningError
+from repro.mpi.comm import run_spmd
+
+
+class TestAxisSpec:
+    def test_manual_bounds(self):
+        ax = AxisSpec("x", 10, low=0.0, high=1.0)
+        assert ax.has_manual_bounds
+
+    def test_auto_bounds(self):
+        assert not AxisSpec("x", 10).has_manual_bounds
+        assert not AxisSpec("x", 10, low=0.0).has_manual_bounds
+
+    def test_invalid_bins(self):
+        with pytest.raises(BinningError):
+            AxisSpec("x", 0)
+
+    def test_inverted_bounds(self):
+        with pytest.raises(BinningError):
+            AxisSpec("x", 4, low=1.0, high=0.0)
+
+
+class TestComputeBounds:
+    def test_manual_wins(self):
+        ax = AxisSpec("x", 4, low=-2.0, high=2.0)
+        assert compute_bounds(ax, np.array([100.0, 200.0])) == (-2.0, 2.0)
+
+    def test_auto_from_data(self):
+        ax = AxisSpec("x", 4)
+        assert compute_bounds(ax, np.array([3.0, -1.0, 2.0])) == (-1.0, 3.0)
+
+    def test_half_manual(self):
+        ax = AxisSpec("x", 4, low=0.0)
+        lo, hi = compute_bounds(ax, np.array([-5.0, 5.0]))
+        assert (lo, hi) == (0.0, 5.0)
+
+    def test_constant_data_widened(self):
+        ax = AxisSpec("x", 4)
+        lo, hi = compute_bounds(ax, np.full(10, 7.0))
+        assert lo < 7.0 < hi
+
+    def test_empty_data_without_comm_raises(self):
+        with pytest.raises(BinningError):
+            compute_bounds(AxisSpec("x", 4), np.array([]))
+
+    def test_global_bounds_across_ranks(self):
+        """On-the-fly bounds are global min/max over MPI (paper S4.2)."""
+        def fn(comm):
+            data = np.array([float(comm.rank)])
+            return compute_bounds(AxisSpec("x", 4), data, comm)
+
+        out = run_spmd(4, fn)
+        assert all(b == (0.0, 3.0) for b in out)
+
+    def test_empty_on_one_rank_ok_with_comm(self):
+        def fn(comm):
+            data = np.array([]) if comm.rank == 0 else np.array([1.0, 2.0])
+            return compute_bounds(AxisSpec("x", 4), data, comm)
+
+        out = run_spmd(2, fn)
+        assert all(b == (1.0, 2.0) for b in out)
+
+
+class TestBinIndex:
+    def test_interior_values(self):
+        idx = bin_index(np.array([0.1, 0.9, 2.5]), 0.0, 4.0, 4)
+        np.testing.assert_array_equal(idx, [0, 0, 2])
+
+    def test_out_of_range_clipped(self):
+        idx = bin_index(np.array([-1.0, 5.0]), 0.0, 4.0, 4)
+        np.testing.assert_array_equal(idx, [0, 3])
+
+    def test_high_edge_in_last_bin(self):
+        idx = bin_index(np.array([4.0]), 0.0, 4.0, 4)
+        np.testing.assert_array_equal(idx, [3])
+
+    @given(
+        xs=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100),
+        n=st.integers(1, 512),
+    )
+    def test_always_in_range(self, xs, n):
+        idx = bin_index(np.array(xs), -10.0, 10.0, n)
+        assert ((idx >= 0) & (idx < n)).all()
+
+
+class TestFlatBinIndex:
+    def test_row_major_composition(self):
+        x = np.array([0.5, 1.5])
+        y = np.array([0.5, 2.5])
+        flat = flat_bin_index([x, y], [(0, 2), (0, 3)], [2, 3])
+        # (0,0) -> 0; (1,2) -> 1*3+2 = 5
+        np.testing.assert_array_equal(flat, [0, 5])
+
+    def test_single_axis(self):
+        flat = flat_bin_index([np.array([1.5])], [(0, 4)], [4])
+        np.testing.assert_array_equal(flat, [1])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(BinningError):
+            flat_bin_index([np.zeros(2)], [(0, 1), (0, 1)], [2, 2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(BinningError):
+            flat_bin_index([np.zeros(2), np.zeros(3)], [(0, 1), (0, 1)], [2, 2])
+
+    def test_no_axes(self):
+        with pytest.raises(BinningError):
+            flat_bin_index([], [], [])
+
+    @given(
+        n=st.integers(1, 50),
+        dims=st.lists(st.integers(1, 8), min_size=1, max_size=3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_flat_index_in_range(self, n, dims, seed):
+        rng = np.random.default_rng(seed)
+        coords = [rng.uniform(-1, 1, n) for _ in dims]
+        bounds = [(-1.0, 1.0)] * len(dims)
+        flat = flat_bin_index(coords, bounds, dims)
+        assert ((flat >= 0) & (flat < np.prod(dims))).all()

@@ -1,0 +1,38 @@
+"""Shared test fixtures.
+
+The substrate keeps a little process-global state (the current virtual
+node, default streams, each thread's clock and active device).  Every
+test starts from a clean slate so simulated times are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hamr.pool import reset_pools
+from repro.hamr.runtime import set_active_device, set_current_clock
+from repro.hamr.stream import reset_default_streams
+from repro.hw.clock import SimClock
+from repro.hw.node import VirtualNode, reset_node, set_node
+
+
+@pytest.fixture(autouse=True)
+def clean_substrate():
+    """Fresh node, streams, pools, clock, and active device per test."""
+    reset_node()
+    reset_default_streams()
+    reset_pools()
+    set_current_clock(SimClock(name="test"))
+    set_active_device(0)
+    yield
+    reset_node()
+    reset_default_streams()
+    reset_pools()
+
+
+@pytest.fixture
+def node4():
+    """A 4-GPU node installed as the current node (Perlmutter-like)."""
+    node = VirtualNode()
+    set_node(node)
+    return node

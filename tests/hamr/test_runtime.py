@@ -1,0 +1,88 @@
+"""Tests for the thread-local runtime context."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import LocationError
+from repro.hamr.allocator import HOST_DEVICE_ID
+from repro.hamr.runtime import (
+    active_device,
+    current_clock,
+    get_active_device,
+    set_active_device,
+    set_current_clock,
+    use_clock,
+)
+from repro.hw.clock import SimClock
+
+
+class TestActiveDevice:
+    def test_default_is_device_zero(self):
+        assert get_active_device() == 0
+
+    def test_set_and_get(self):
+        prev = set_active_device(2)
+        assert prev == 0
+        assert get_active_device() == 2
+
+    def test_host_selectable(self):
+        set_active_device(HOST_DEVICE_ID)
+        assert get_active_device() == HOST_DEVICE_ID
+
+    def test_invalid_device_rejected(self):
+        with pytest.raises(LocationError):
+            set_active_device(17)
+
+    def test_context_manager_restores(self):
+        with active_device(3):
+            assert get_active_device() == 3
+        assert get_active_device() == 0
+
+    def test_thread_isolation(self):
+        set_active_device(2)
+        seen = {}
+
+        def worker():
+            seen["dev"] = get_active_device()
+            set_active_device(1)
+            seen["after"] = get_active_device()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen["dev"] == 0  # fresh thread starts at default
+        assert seen["after"] == 1
+        assert get_active_device() == 2  # main thread unaffected
+
+
+class TestCurrentClock:
+    def test_lazy_creation(self):
+        assert current_clock() is current_clock()
+
+    def test_use_clock_restores(self):
+        outer = current_clock()
+        inner = SimClock(name="inner")
+        with use_clock(inner):
+            assert current_clock() is inner
+        assert current_clock() is outer
+
+    def test_thread_gets_its_own_clock(self):
+        main = current_clock()
+        box = {}
+
+        def worker():
+            box["clk"] = current_clock()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert box["clk"] is not main
+
+    def test_set_current_clock_returns_previous(self):
+        a = current_clock()
+        b = SimClock()
+        assert set_current_clock(b) is a
+        assert current_clock() is b

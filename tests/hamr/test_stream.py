@@ -1,0 +1,112 @@
+"""Tests for svtkStream / svtkStreamMode semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hamr.allocator import HOST_DEVICE_ID, PMKind
+from repro.hamr.stream import Stream, StreamMode, default_stream
+from repro.hw.clock import EventCategory, SimClock
+
+
+class TestEnqueue:
+    def test_sync_mode_blocks_clock(self):
+        clk = SimClock()
+        s = Stream(device_id=0)
+        ev = s.enqueue(clk, 1.0, mode=StreamMode.SYNC)
+        assert clk.now == ev.end == 1.0
+
+    def test_async_mode_returns_immediately(self):
+        clk = SimClock()
+        s = Stream(device_id=0)
+        ev = s.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        assert clk.now == 0.0
+        assert ev.end == 1.0
+
+    def test_async_then_synchronize_joins(self):
+        clk = SimClock()
+        s = Stream(device_id=0)
+        s.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        s.enqueue(clk, 2.0, mode=StreamMode.ASYNC)
+        s.synchronize(clk)
+        assert clk.now == 3.0
+
+    def test_stream_serializes_operations(self):
+        clk = SimClock()
+        s = Stream(device_id=0)
+        a = s.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        b = s.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        assert b.start == a.end
+
+    def test_independent_streams_overlap(self):
+        clk = SimClock()
+        s1, s2 = Stream(device_id=0), Stream(device_id=0)
+        a = s1.enqueue(clk, 5.0, mode=StreamMode.ASYNC)
+        b = s2.enqueue(clk, 5.0, mode=StreamMode.ASYNC)
+        assert a.overlaps(b)
+
+    def test_after_dependency(self):
+        clk = SimClock()
+        s = Stream(device_id=0)
+        ev = s.enqueue(clk, 1.0, mode=StreamMode.ASYNC, after=10.0)
+        assert ev.start == 10.0
+
+    def test_wait_event_orders_across_streams(self):
+        """cudaStreamWaitEvent semantics: the stream waits, not the host."""
+        clk = SimClock()
+        producer, consumer = Stream(device_id=0), Stream(device_id=1)
+        ev = producer.enqueue(clk, 2.0, mode=StreamMode.ASYNC)
+        consumer.wait_event(ev)
+        dependent = consumer.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        assert dependent.start >= ev.end
+        assert clk.now == 0.0  # the host never blocked
+
+    def test_overlap_enables_speedup(self):
+        """The point of async mode: overlap two 1s ops in 1s total."""
+        clk = SimClock()
+        s1, s2 = Stream(device_id=0), Stream(device_id=1)
+        s1.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        s2.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        s1.synchronize(clk)
+        s2.synchronize(clk)
+        assert clk.now == pytest.approx(1.0)
+
+
+class TestNativeInterchange:
+    def test_round_trip_preserves_identity(self):
+        s = Stream(device_id=2, pm=PMKind.CUDA)
+        h = s.to_native(PMKind.CUDA)
+        assert Stream.from_native(PMKind.CUDA, h) is s
+
+    def test_cross_pm_conversion(self):
+        """svtkStream converts between PM-native stream types (paper S2)."""
+        s = Stream(device_id=0, pm=PMKind.CUDA)
+        h = s.to_native(PMKind.OPENMP)
+        assert Stream.from_native(PMKind.OPENMP, h) is s
+
+    def test_adopting_foreign_handle(self):
+        s = Stream.from_native(PMKind.HIP, 987654, device_id=1)
+        assert s.device_id == 1
+        assert Stream.from_native(PMKind.HIP, 987654) is s
+
+    def test_distinct_streams_distinct_handles(self):
+        a, b = Stream(device_id=0), Stream(device_id=0)
+        assert a.to_native() != b.to_native()
+
+
+class TestDefaultStream:
+    def test_per_device_singleton(self):
+        assert default_stream(0) is default_stream(0)
+        assert default_stream(0) is not default_stream(1)
+
+    def test_host_default_stream(self):
+        s = default_stream(HOST_DEVICE_ID)
+        assert s.device_id == HOST_DEVICE_ID
+
+    def test_synchronize_records_sync_event(self):
+        clk = SimClock()
+        s = Stream(device_id=0)
+        s.enqueue(clk, 1.0, mode=StreamMode.ASYNC)
+        s.synchronize(clk)
+        cats = [e.category for e in s.timeline.events]
+        assert EventCategory.SYNC in cats

@@ -1,0 +1,161 @@
+"""Tests for the discrete-event time substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.clock import EventCategory, SimClock, Timeline, merge_events
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_wait_for_moves_forward(self):
+        c = SimClock()
+        assert c.wait_for(3.0) == 3.0
+        assert c.now == 3.0
+
+    def test_wait_for_never_moves_backward(self):
+        c = SimClock(10.0)
+        c.wait_for(3.0)
+        assert c.now == 10.0
+
+    def test_wait_event(self):
+        tl = Timeline("r")
+        ev = tl.schedule(0.0, 2.0)
+        c = SimClock()
+        c.wait_event(ev)
+        assert c.now == 2.0
+
+    def test_reset(self):
+        c = SimClock(7.0)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestTimeline:
+    def test_schedule_from_idle(self):
+        tl = Timeline("gpu0")
+        ev = tl.schedule(1.0, 2.0, name="k")
+        assert ev.start == 1.0
+        assert ev.end == 3.0
+        assert tl.available_at == 3.0
+
+    def test_back_to_back_serialize(self):
+        tl = Timeline("gpu0")
+        a = tl.schedule(0.0, 1.0)
+        b = tl.schedule(0.0, 1.0)  # issued at 0 but resource busy until 1
+        assert b.start == a.end
+        assert b.end == 2.0
+
+    def test_idle_gap_preserved(self):
+        tl = Timeline("gpu0")
+        tl.schedule(0.0, 1.0)
+        ev = tl.schedule(5.0, 1.0)
+        assert ev.start == 5.0
+
+    def test_zero_duration_allowed(self):
+        tl = Timeline("r")
+        ev = tl.schedule(1.0, 0.0)
+        assert ev.start == ev.end == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline("r").schedule(0.0, -0.1)
+
+    def test_delay_until(self):
+        tl = Timeline("r")
+        tl.delay_until(4.0)
+        ev = tl.schedule(0.0, 1.0)
+        assert ev.start == 4.0
+
+    def test_delay_until_never_rewinds(self):
+        tl = Timeline("r")
+        tl.schedule(0.0, 5.0)
+        tl.delay_until(1.0)
+        assert tl.available_at == 5.0
+
+    def test_busy_time_by_category(self):
+        tl = Timeline("r")
+        tl.schedule(0.0, 1.0, category=EventCategory.COMPUTE)
+        tl.schedule(0.0, 2.0, category=EventCategory.COPY)
+        assert tl.busy_time() == pytest.approx(3.0)
+        assert tl.busy_time(EventCategory.COMPUTE) == pytest.approx(1.0)
+        assert tl.busy_time(EventCategory.COPY) == pytest.approx(2.0)
+
+    def test_events_in_window(self):
+        tl = Timeline("r")
+        tl.schedule(0.0, 1.0, name="a")
+        tl.schedule(2.0, 1.0, name="b")
+        names = [e.name for e in tl.events_in(0.5, 2.5)]
+        assert names == ["a", "b"]
+        assert [e.name for e in tl.events_in(1.0, 2.0)] == []
+
+    def test_reset(self):
+        tl = Timeline("r")
+        tl.schedule(0.0, 1.0)
+        tl.reset()
+        assert tl.available_at == 0.0
+        assert tl.events == []
+
+    def test_event_overlap_predicate(self):
+        tl = Timeline("r")
+        a = tl.schedule(0.0, 2.0)
+        b = tl.schedule(0.0, 2.0)
+        assert not a.overlaps(b)  # serialized on one resource
+        tl2 = Timeline("r2")
+        c = tl2.schedule(1.0, 2.0)
+        assert a.overlaps(c)
+
+    def test_merge_events_sorted(self):
+        t1, t2 = Timeline("a"), Timeline("b")
+        t1.schedule(0.0, 1.0, name="x")
+        t2.schedule(0.5, 1.0, name="y")
+        t1.schedule(3.0, 1.0, name="z")
+        assert [e.name for e in merge_events([t1, t2])] == ["x", "y", "z"]
+
+
+@given(durs=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30))
+def test_timeline_never_overlaps_and_is_monotone(durs):
+    """Property: events on one timeline are disjoint and ordered."""
+    tl = Timeline("r")
+    for d in durs:
+        tl.schedule(0.0, d)
+    evs = tl.events
+    for prev, nxt in zip(evs, evs[1:]):
+        assert prev.end <= nxt.start
+    assert tl.available_at == evs[-1].end
+
+
+@given(
+    moves=st.lists(
+        st.tuples(st.sampled_from(["advance", "wait"]), st.floats(0, 100)),
+        max_size=50,
+    )
+)
+def test_clock_is_monotone(moves):
+    """Property: a clock never runs backward under any op sequence."""
+    c = SimClock()
+    prev = 0.0
+    for kind, x in moves:
+        if kind == "advance":
+            c.advance(x)
+        else:
+            c.wait_for(x)
+        assert c.now >= prev
+        prev = c.now

@@ -1,0 +1,78 @@
+"""Tests for the shared-resource contention model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.contention import ContentionModel, SharedResource
+
+
+@pytest.fixture
+def model():
+    return ContentionModel()
+
+
+class TestDilation:
+    def test_no_sharers_no_dilation(self, model):
+        for r in SharedResource:
+            assert model.dilation(r, other_parties=0) == 1.0
+
+    def test_one_sharer_uses_base_factor(self, model):
+        f = model.dilation(SharedResource.GPU_COMPUTE, 1)
+        assert f == pytest.approx(model.factors[SharedResource.GPU_COMPUTE])
+
+    def test_linear_in_sharers(self, model):
+        f1 = model.dilation(SharedResource.HOST_CORES, 1)
+        f2 = model.dilation(SharedResource.HOST_CORES, 2)
+        assert (f2 - 1.0) == pytest.approx(2 * (f1 - 1.0))
+
+    def test_all_factors_at_least_one(self, model):
+        for r in SharedResource:
+            assert model.dilation(r, 1) >= 1.0
+
+    def test_negative_sharers_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.dilation(SharedResource.GPU_COMPUTE, -1)
+
+    def test_unknown_resource_defaults_to_one(self):
+        m = ContentionModel(factors={})
+        assert m.dilation(SharedResource.GPU_MEMORY, 3) == 1.0
+
+
+class TestCombined:
+    def test_combined_is_product(self, model):
+        rs = [SharedResource.GPU_COMPUTE, SharedResource.GPU_MEMORY]
+        assert model.combined(rs) == pytest.approx(
+            model.dilation(rs[0]) * model.dilation(rs[1])
+        )
+
+    def test_combined_empty_is_identity(self, model):
+        assert model.combined([]) == 1.0
+
+    def test_custom_factors(self):
+        m = ContentionModel(factors={SharedResource.HOST_LINK: 2.0})
+        assert m.dilation(SharedResource.HOST_LINK, 1) == 2.0
+
+
+class TestPaperShape:
+    """The defaults must support the paper's qualitative findings."""
+
+    def test_same_device_sharing_is_strongest(self, model):
+        same_dev = model.combined(
+            [SharedResource.GPU_COMPUTE, SharedResource.GPU_MEMORY]
+        )
+        host = model.combined(
+            [SharedResource.HOST_CORES, SharedResource.HOST_LINK]
+        )
+        assert same_dev > host > 1.0
+
+    def test_every_placement_slows_the_solver(self, model):
+        """Async slows the solver in all placements (paper Section 4.4)."""
+        placements = {
+            "host": [SharedResource.HOST_CORES, SharedResource.HOST_LINK],
+            "same_device": [SharedResource.GPU_COMPUTE, SharedResource.GPU_MEMORY],
+            "dedicated": [SharedResource.HOST_LINK],
+            "two_dedicated": [SharedResource.HOST_LINK],
+        }
+        for name, rs in placements.items():
+            assert model.combined(rs) > 1.0, name

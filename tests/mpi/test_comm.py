@@ -1,0 +1,268 @@
+"""Tests for the simulated MPI layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError, RankMismatchError
+from repro.hamr.runtime import current_clock
+from repro.mpi.comm import (
+    CommCostModel,
+    SelfCommunicator,
+    run_spmd,
+)
+
+
+class TestRunSpmd:
+    def test_gathers_return_values(self):
+        out = run_spmd(4, lambda comm: comm.rank * 10)
+        assert out == [0, 10, 20, 30]
+
+    def test_size_one_uses_self_comm(self):
+        out = run_spmd(1, lambda comm: (comm.rank, comm.size))
+        assert out == [(0, 1)]
+
+    def test_invalid_size(self):
+        with pytest.raises(MPIError):
+            run_spmd(0, lambda comm: None)
+
+    def test_exception_propagates_with_rank(self):
+        def bad(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(MPIError, match="rank 2"):
+            run_spmd(4, bad)
+
+    def test_fresh_clock_per_rank(self):
+        times = run_spmd(3, lambda comm: current_clock().now, start_time=5.0)
+        assert all(t >= 5.0 for t in times)
+
+
+class TestPointToPoint:
+    def test_send_recv_object(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        out = run_spmd(2, fn)
+        assert out[1] == {"a": 7, "b": 3.14}
+
+    def test_send_recv_numpy_buffers(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(10.0), dest=1)
+                return None
+            buf = np.empty(10)
+            comm.Recv(buf, source=0)
+            return buf
+
+        out = run_spmd(2, fn)
+        np.testing.assert_array_equal(out[1], np.arange(10.0))
+
+    def test_tags_demultiplex(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("tag5", dest=1, tag=5)
+                comm.send("tag7", dest=1, tag=7)
+                return None
+            second = comm.recv(source=0, tag=7)
+            first = comm.recv(source=0, tag=5)
+            return (first, second)
+
+        out = run_spmd(2, fn)
+        assert out[1] == ("tag5", "tag7")
+
+    def test_isend_irecv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2, 3], dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        out = run_spmd(2, fn)
+        assert out[1] == [1, 2, 3]
+
+    def test_sendrecv_ring(self):
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        out = run_spmd(3, fn)
+        assert out == [2, 0, 1]
+
+    def test_self_message_rejected(self):
+        def fn(comm):
+            comm.send(1, dest=comm.rank)
+
+        with pytest.raises(MPIError):
+            run_spmd(2, fn)
+
+    def test_recv_charges_simulated_time(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1000), dest=1)
+                return None
+            comm.recv(source=0)
+            return current_clock().now
+
+        out = run_spmd(2, fn)
+        assert out[1] > 0.0
+
+    def test_message_cannot_arrive_before_it_was_sent(self):
+        """Simulated-time causality: recv completion >= send time."""
+        def fn(comm):
+            if comm.rank == 0:
+                current_clock().advance(5.0)  # sender is far in the future
+                comm.send("late", dest=1)
+                return None
+            comm.recv(source=0)
+            return current_clock().now
+
+        out = run_spmd(2, fn)
+        assert out[1] > 5.0  # receiver clock pulled past the send time
+
+    def test_recv_timeout(self):
+        def fn(comm):
+            if comm.rank == 1:
+                with pytest.raises(TimeoutError):
+                    comm.recv(source=0, timeout=0.05)
+            comm.barrier()
+
+        run_spmd(2, fn)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            data = {"key": [1, 2]} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        out = run_spmd(4, fn)
+        assert all(o == {"key": [1, 2]} for o in out)
+
+    def test_bcast_nonzero_root(self):
+        out = run_spmd(3, lambda comm: comm.bcast(
+            "payload" if comm.rank == 2 else None, root=2))
+        assert out == ["payload"] * 3
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather((comm.rank + 1) ** 2, root=0)
+
+        out = run_spmd(4, fn)
+        assert out[0] == [1, 4, 9, 16]
+        assert out[1] is None
+
+    def test_allgather(self):
+        out = run_spmd(3, lambda comm: comm.allgather(comm.rank))
+        assert out == [[0, 1, 2]] * 3
+
+    def test_scatter(self):
+        def fn(comm):
+            objs = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_spmd(4, fn) == [1, 4, 9, 16]
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            objs = [0] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        with pytest.raises(MPIError):
+            run_spmd(3, fn)
+
+    def test_alltoall(self):
+        def fn(comm):
+            return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+        out = run_spmd(3, fn)
+        assert out[1] == ["0->1", "1->1", "2->1"]
+
+    def test_reduce_sum(self):
+        out = run_spmd(4, lambda comm: comm.reduce(comm.rank + 1, op="sum", root=0))
+        assert out[0] == 10
+        assert out[1:] == [None] * 3
+
+    def test_allreduce_ops(self):
+        def fn(comm):
+            v = comm.rank + 1
+            return (
+                comm.allreduce(v, "sum"),
+                comm.allreduce(v, "min"),
+                comm.allreduce(v, "max"),
+                comm.allreduce(v, "prod"),
+            )
+
+        out = run_spmd(3, fn)
+        assert out == [(6, 1, 3, 6)] * 3
+
+    def test_allreduce_numpy(self):
+        def fn(comm):
+            return comm.Allreduce(np.full(4, float(comm.rank)), op="sum")
+
+        out = run_spmd(4, fn)
+        np.testing.assert_array_equal(out[0], [6.0] * 4)
+
+    def test_allreduce_does_not_mutate_input(self):
+        def fn(comm):
+            mine = np.full(2, float(comm.rank))
+            comm.Allreduce(mine, op="sum")
+            return mine
+
+        out = run_spmd(3, fn)
+        np.testing.assert_array_equal(out[1], [1.0, 1.0])
+
+    def test_unknown_reduction(self):
+        with pytest.raises(MPIError):
+            run_spmd(2, lambda comm: comm.allreduce(1, op="xor"))
+
+    def test_invalid_root(self):
+        with pytest.raises(MPIError):
+            run_spmd(2, lambda comm: comm.bcast(1, root=5))
+
+    def test_barrier_aligns_clocks(self):
+        def fn(comm):
+            current_clock().advance(0.1 * (comm.rank + 1))
+            comm.barrier()
+            return current_clock().now
+
+        out = run_spmd(3, fn)
+        assert max(out) - min(out) < 1e-12
+        assert out[0] >= 0.3  # aligned to the slowest rank
+
+    def test_collectives_cost_scales_with_size(self):
+        cost = CommCostModel()
+        assert cost.collective(1000, 16) > cost.collective(1000, 2)
+
+
+class TestSelfCommunicator:
+    def test_trivial_collectives(self):
+        c = SelfCommunicator()
+        assert c.bcast(42) == 42
+        assert c.gather("x") == ["x"]
+        assert c.allgather("x") == ["x"]
+        assert c.scatter(["only"]) == "only"
+        assert c.alltoall(["a"]) == ["a"]
+        assert c.allreduce(5) == 5
+        assert c.reduce(5) == 5
+        c.barrier()
+
+    def test_p2p_rejected(self):
+        c = SelfCommunicator()
+        with pytest.raises(MPIError):
+            c.send(1, dest=0)
+        with pytest.raises(MPIError):
+            c.recv(source=0)
+
+    def test_scatter_validates(self):
+        with pytest.raises(RankMismatchError):
+            SelfCommunicator().scatter([1, 2])

@@ -1,0 +1,106 @@
+"""Tests for domain-decomposition helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MPIError
+from repro.mpi.partition import block_range, owner_of, slab_bounds
+
+
+class TestBlockRange:
+    def test_even_split(self):
+        assert [block_range(8, 4, r) for r in range(4)] == [
+            (0, 2), (2, 4), (4, 6), (6, 8)
+        ]
+
+    def test_remainder_to_low_ranks(self):
+        assert [block_range(10, 4, r) for r in range(4)] == [
+            (0, 3), (3, 6), (6, 8), (8, 10)
+        ]
+
+    def test_more_ranks_than_items(self):
+        ranges = [block_range(2, 4, r) for r in range(4)]
+        assert ranges == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_invalid_args(self):
+        with pytest.raises(MPIError):
+            block_range(10, 0, 0)
+        with pytest.raises(MPIError):
+            block_range(10, 4, 4)
+        with pytest.raises(MPIError):
+            block_range(-1, 4, 0)
+
+    @given(n=st.integers(0, 10_000), size=st.integers(1, 64))
+    def test_partition_properties(self, n, size):
+        """Coverage, disjointness, and balance for any (n, size)."""
+        ranges = [block_range(n, size, r) for r in range(size)]
+        # Coverage and contiguity.
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == n
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        # Balance within 1.
+        sizes = [b - a for a, b in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSlabBounds:
+    def test_partition_of_interval(self):
+        slabs = [slab_bounds(0.0, 1.0, 4, r) for r in range(4)]
+        assert slabs[0] == (0.0, 0.25)
+        assert slabs[-1] == (0.75, 1.0)
+
+    def test_last_slab_reaches_hi_exactly(self):
+        lo, hi = slab_bounds(-1.0, 2.0, 3, 2)
+        assert hi == 2.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(MPIError):
+            slab_bounds(1.0, 1.0, 2, 0)
+
+    @given(
+        lo=st.floats(-1e6, 1e6),
+        width=st.floats(1e-3, 1e6),
+        size=st.integers(1, 32),
+    )
+    def test_slabs_tile_interval(self, lo, width, size):
+        hi = lo + width
+        slabs = [slab_bounds(lo, hi, size, r) for r in range(size)]
+        assert slabs[0][0] == lo
+        assert slabs[-1][1] == hi
+        for (a0, a1), (b0, b1) in zip(slabs, slabs[1:]):
+            assert a1 == pytest.approx(b0)
+
+
+class TestOwnerOf:
+    def test_ownership_matches_slabs(self):
+        x = np.array([0.05, 0.3, 0.55, 0.95])
+        owners = owner_of(x, 0.0, 1.0, 4)
+        np.testing.assert_array_equal(owners, [0, 1, 2, 3])
+
+    def test_out_of_domain_clamped(self):
+        owners = owner_of(np.array([-5.0, 5.0]), 0.0, 1.0, 4)
+        np.testing.assert_array_equal(owners, [0, 3])
+
+    def test_invalid_size(self):
+        with pytest.raises(MPIError):
+            owner_of(np.zeros(1), 0.0, 1.0, 0)
+
+    @given(
+        xs=st.lists(st.floats(-10, 10), min_size=1, max_size=50),
+        size=st.integers(1, 16),
+    )
+    def test_owner_always_in_range_and_consistent(self, xs, size):
+        """Property: each point's owner's slab actually contains it."""
+        x = np.array(xs)
+        owners = owner_of(x, -10.0, 10.0, size)
+        assert ((owners >= 0) & (owners < size)).all()
+        for xi, r in zip(x, owners):
+            lo, hi = slab_bounds(-10.0, 10.0, size, int(r))
+            if r == size - 1:
+                assert xi >= lo - 1e-9
+            else:
+                assert lo - 1e-9 <= xi < hi + 1e-9

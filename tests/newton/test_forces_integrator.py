@@ -1,0 +1,183 @@
+"""Tests for gravity and the symplectic integrator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.newton.bodies import Bodies
+from repro.newton.forces import (
+    accelerations,
+    kinetic_energy,
+    pair_flops,
+    potential_energy,
+    total_energy,
+)
+from repro.newton.ic import uniform_random
+from repro.newton.integrator import leapfrog_step
+
+
+class TestAccelerations:
+    def test_two_body_inverse_square(self):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        acc = accelerations(pos, pos, np.array([1.0, 1.0]), softening=1e-9)
+        # Body 0 pulled toward +x with |a| ~ 1/r^2 = 1.
+        assert acc[0, 0] == pytest.approx(1.0, rel=1e-6)
+        assert acc[1, 0] == pytest.approx(-1.0, rel=1e-6)
+        assert np.abs(acc[:, 1:]).max() < 1e-12
+
+    def test_self_interaction_is_zero(self):
+        pos = np.array([[0.5, 0.5, 0.5]])
+        acc = accelerations(pos, pos, np.array([10.0]), softening=1e-3)
+        np.testing.assert_allclose(acc, 0.0)
+
+    def test_tiling_invariance(self):
+        b = uniform_random(100, seed=1)
+        pos = b.positions
+        a_big = accelerations(pos, pos, b.mass, tile=1000)
+        a_small = accelerations(pos, pos, b.mass, tile=7)
+        np.testing.assert_allclose(a_small, a_big, rtol=1e-12)
+
+    def test_momentum_conservation(self):
+        """Sum of m*a vanishes for internal forces (Newton's third law)."""
+        b = uniform_random(80, seed=3)
+        acc = accelerations(b.positions, b.positions, b.mass)
+        np.testing.assert_allclose(
+            (b.mass[:, None] * acc).sum(axis=0), 0.0, atol=1e-10
+        )
+
+    def test_mass_linearity(self):
+        b = uniform_random(30, seed=4)
+        a1 = accelerations(b.positions, b.positions, b.mass)
+        a2 = accelerations(b.positions, b.positions, 2.0 * b.mass)
+        np.testing.assert_allclose(a2, 2.0 * a1, rtol=1e-12)
+
+    def test_validation(self):
+        pos = np.zeros((2, 3))
+        with pytest.raises(SolverError):
+            accelerations(pos, pos, np.ones(2), softening=0.0)
+        with pytest.raises(SolverError):
+            accelerations(pos, pos, np.ones(2), tile=0)
+        with pytest.raises(SolverError):
+            accelerations(np.zeros((2, 2)), pos, np.ones(2))
+        with pytest.raises(SolverError):
+            accelerations(pos, pos, np.ones(3))
+
+    def test_pair_flops(self):
+        assert pair_flops(10, 100) == 20.0 * 1000
+
+
+class TestEnergies:
+    def test_two_body_potential(self):
+        pos = np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0]])
+        w = potential_energy(pos, np.array([3.0, 4.0]), softening=1e-9)
+        assert w == pytest.approx(-3.0 * 4.0 / 2.0, rel=1e-6)
+
+    def test_potential_tiling_invariance(self):
+        b = uniform_random(64, seed=5)
+        w1 = potential_energy(b.positions, b.mass, tile=1000)
+        w2 = potential_energy(b.positions, b.mass, tile=5)
+        assert w2 == pytest.approx(w1, rel=1e-12)
+
+    def test_kinetic(self):
+        vel = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        assert kinetic_energy(vel, np.array([2.0, 1.0])) == pytest.approx(
+            0.5 * (2 * 1 + 1 * 4)
+        )
+
+    def test_total(self):
+        b = uniform_random(20, seed=6)
+        assert total_energy(b.positions, b.velocities, b.mass) == pytest.approx(
+            kinetic_energy(b.velocities, b.mass)
+            + potential_energy(b.positions, b.mass)
+        )
+
+
+def _accel_closure(mass, softening=1e-2):
+    return lambda pos: accelerations(pos, pos, mass, softening=softening)
+
+
+class TestLeapfrog:
+    def test_energy_conservation_over_many_steps(self):
+        # Masses ~1/n keep close encounters resolvable at this dt.
+        b = uniform_random(60, seed=7, vel_scale=0.2, mass_range=(0.01, 0.03))
+        fn = _accel_closure(b.mass, softening=0.05)
+        e0 = total_energy(b.positions, b.velocities, b.mass, 0.05)
+        acc = None
+        for _ in range(200):
+            acc = leapfrog_step(b, 1e-3, fn, acc=acc)
+        e1 = total_energy(b.positions, b.velocities, b.mass, 0.05)
+        assert abs((e1 - e0) / e0) < 1e-3
+
+    def test_time_reversibility(self):
+        """Integrate forward then backward: return to start to round-off."""
+        b = uniform_random(30, seed=8)
+        x0, v0 = b.positions.copy(), b.velocities.copy()
+        fn = _accel_closure(b.mass)
+        acc = None
+        for _ in range(50):
+            acc = leapfrog_step(b, 1e-3, fn, acc=acc)
+        acc = None
+        for _ in range(50):
+            acc = leapfrog_step(b, -1e-3, fn, acc=acc)
+        np.testing.assert_allclose(b.positions, x0, atol=1e-9)
+        np.testing.assert_allclose(b.velocities, v0, atol=1e-9)
+
+    def test_second_order_convergence(self):
+        """Halving dt must reduce the error ~4x (2nd-order scheme)."""
+        def run(dt, steps):
+            b = uniform_random(12, seed=9, vel_scale=0.3)
+            fn = _accel_closure(b.mass, softening=0.1)
+            acc = None
+            for _ in range(steps):
+                acc = leapfrog_step(b, dt, fn, acc=acc)
+            return b.positions
+
+        ref = run(1e-4, 800)   # high-resolution reference
+        err_coarse = np.abs(run(8e-4, 100) - ref).max()
+        err_fine = np.abs(run(4e-4, 200) - ref).max()
+        assert err_coarse / err_fine > 3.0
+
+    def test_momentum_conserved_exactly(self):
+        b = uniform_random(40, seed=10)
+        p0 = (b.mass[:, None] * b.velocities).sum(axis=0)
+        fn = _accel_closure(b.mass)
+        acc = None
+        for _ in range(20):
+            acc = leapfrog_step(b, 1e-3, fn, acc=acc)
+        p1 = (b.mass[:, None] * b.velocities).sum(axis=0)
+        np.testing.assert_allclose(p1, p0, atol=1e-10)
+
+    def test_zero_dt_rejected(self):
+        b = uniform_random(4)
+        with pytest.raises(SolverError):
+            leapfrog_step(b, 0.0, _accel_closure(b.mass))
+
+    def test_bad_acc_shape_rejected(self):
+        b = uniform_random(4)
+        with pytest.raises(SolverError):
+            leapfrog_step(b, 1e-3, _accel_closure(b.mass), acc=np.zeros((2, 3)))
+
+    def test_returned_acc_matches_new_positions(self):
+        b = uniform_random(10, seed=11)
+        fn = _accel_closure(b.mass)
+        acc = leapfrog_step(b, 1e-3, fn)
+        np.testing.assert_allclose(acc, fn(b.positions), rtol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 40))
+def test_leapfrog_reversibility_property(seed, n):
+    """Property: KDK is time reversible for any small system."""
+    b = uniform_random(n, seed=seed)
+    x0 = b.positions.copy()
+    fn = _accel_closure(b.mass, softening=0.05)
+    acc = None
+    for _ in range(10):
+        acc = leapfrog_step(b, 1e-3, fn, acc=acc)
+    acc = None
+    for _ in range(10):
+        acc = leapfrog_step(b, -1e-3, fn, acc=acc)
+    np.testing.assert_allclose(b.positions, x0, atol=1e-8)

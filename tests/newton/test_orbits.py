@@ -1,0 +1,91 @@
+"""Analytic physics checks: the solver against closed-form orbits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.newton.bodies import Bodies
+from repro.newton.forces import accelerations
+from repro.newton.integrator import leapfrog_step
+
+
+def circular_binary(m_central: float, r: float) -> Bodies:
+    """A light test particle on a circular orbit around a heavy body.
+
+    G = 1: circular speed v = sqrt(M / r), period T = 2 pi sqrt(r^3 / M).
+    """
+    v = np.sqrt(m_central / r)
+    return Bodies(
+        x=np.array([0.0, r]),
+        y=np.zeros(2),
+        z=np.zeros(2),
+        vx=np.zeros(2),
+        vy=np.array([0.0, v]),
+        vz=np.zeros(2),
+        mass=np.array([m_central, 1e-9]),
+    )
+
+
+def advance(bodies: Bodies, dt: float, steps: int, softening=1e-9) -> None:
+    fn = lambda pos: accelerations(pos, pos, bodies.mass, softening=softening)
+    acc = None
+    for _ in range(steps):
+        acc = leapfrog_step(bodies, dt, fn, acc=acc)
+
+
+class TestCircularOrbit:
+    def test_radius_is_preserved(self):
+        b = circular_binary(1.0, 1.0)
+        advance(b, 1e-3, 2000)
+        r = np.hypot(b.x[1] - b.x[0], b.y[1] - b.y[0])
+        assert r == pytest.approx(1.0, rel=1e-4)
+
+    def test_period_matches_kepler(self):
+        """After one analytic period the particle returns to its start."""
+        m, r = 4.0, 0.5
+        period = 2 * np.pi * np.sqrt(r**3 / m)
+        steps = 4000
+        b = circular_binary(m, r)
+        advance(b, period / steps, steps)
+        assert b.x[1] == pytest.approx(r, abs=2e-4)
+        assert b.y[1] == pytest.approx(0.0, abs=2e-3)
+
+    def test_half_period_is_opposite_point(self):
+        m, r = 1.0, 1.0
+        period = 2 * np.pi * np.sqrt(r**3 / m)
+        steps = 2000
+        b = circular_binary(m, r)
+        advance(b, period / 2 / steps, steps)
+        assert b.x[1] == pytest.approx(-r, abs=2e-3)
+
+    def test_angular_momentum_conserved(self):
+        b = circular_binary(1.0, 1.0)
+        lz0 = b.mass[1] * (b.x[1] * b.vy[1] - b.y[1] * b.vx[1])
+        advance(b, 1e-3, 1000)
+        lz1 = b.mass[1] * (b.x[1] * b.vy[1] - b.y[1] * b.vx[1])
+        assert lz1 == pytest.approx(lz0, rel=1e-10)
+
+
+class TestEllipticalOrbit:
+    def test_eccentric_orbit_conserves_energy_and_returns(self):
+        """An e=0.5 orbit: energy conserved, apoapsis as predicted."""
+        m, r_peri = 1.0, 0.5
+        e = 0.5
+        a = r_peri / (1 - e)
+        v_peri = np.sqrt(m * (1 + e) / r_peri)
+        b = Bodies(
+            x=np.array([0.0, r_peri]), y=np.zeros(2), z=np.zeros(2),
+            vx=np.zeros(2), vy=np.array([0.0, v_peri]), vz=np.zeros(2),
+            mass=np.array([m, 1e-9]),
+        )
+        from repro.newton.forces import total_energy
+
+        e0 = total_energy(b.positions, b.velocities, b.mass, softening=1e-9)
+        period = 2 * np.pi * np.sqrt(a**3 / m)
+        steps = 20000
+        advance(b, period / steps, steps // 2)  # half period: at apoapsis
+        r_apo = np.hypot(b.x[1], b.y[1])
+        assert r_apo == pytest.approx(a * (1 + e), rel=1e-3)
+        e1 = total_energy(b.positions, b.velocities, b.mass, softening=1e-9)
+        assert e1 == pytest.approx(e0, rel=1e-6)

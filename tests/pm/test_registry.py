@@ -1,0 +1,91 @@
+"""Tests for the PM registry and interoperability matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hamr.allocator import Allocator, PMKind
+from repro.pm.base import ProgrammingModel
+from repro.pm.registry import (
+    can_interoperate,
+    get_pm,
+    pm_for_allocator,
+    registered_pms,
+)
+
+
+class TestRegistry:
+    def test_all_kinds_registered(self):
+        kinds = {pm.kind for pm in registered_pms()}
+        assert kinds == set(PMKind)
+
+    def test_get_pm_singleton(self):
+        assert get_pm(PMKind.CUDA) is get_pm(PMKind.CUDA)
+
+    def test_pm_for_allocator(self):
+        assert pm_for_allocator(Allocator.CUDA_ASYNC).kind is PMKind.CUDA
+        assert pm_for_allocator(Allocator.OPENMP).kind is PMKind.OPENMP
+        assert pm_for_allocator(Allocator.MALLOC).kind is PMKind.HOST
+
+    def test_every_pm_is_programming_model(self):
+        for pm in registered_pms():
+            assert isinstance(pm, ProgrammingModel)
+
+
+class TestAllocatorOwnership:
+    def test_allocator_sets_are_disjoint(self):
+        seen = set()
+        for pm in registered_pms():
+            assert not (pm.allocators & seen)
+            seen |= pm.allocators
+
+    def test_allocator_sets_cover_enum(self):
+        covered = set()
+        for pm in registered_pms():
+            covered |= pm.allocators
+        assert covered == set(Allocator)
+
+    def test_owns_allocator(self):
+        assert get_pm(PMKind.HIP).owns_allocator(Allocator.HIP_UVA)
+        assert not get_pm(PMKind.HIP).owns_allocator(Allocator.CUDA)
+
+
+class TestInterop:
+    @pytest.mark.parametrize("producer", list(PMKind))
+    @pytest.mark.parametrize("consumer", list(PMKind))
+    def test_all_pairs_interoperate(self, producer, consumer):
+        """Paper S2: data can pass between any two codes in any PMs."""
+        assert can_interoperate(producer, consumer)
+
+
+class TestTargets:
+    def test_host_pm_rejects_device_target(self):
+        from repro.errors import LocationError
+
+        with pytest.raises(LocationError):
+            get_pm(PMKind.HOST).validate_target(0)
+
+    def test_cuda_rejects_host_target(self):
+        from repro.errors import LocationError
+
+        with pytest.raises(LocationError):
+            get_pm(PMKind.CUDA).validate_target(-1)
+
+    def test_openmp_may_target_host(self):
+        """OpenMP offload falls back to host execution."""
+        get_pm(PMKind.OPENMP).validate_target(-1)
+
+    def test_sycl_and_kokkos_may_target_host(self):
+        """The Section 5 extensions both have host backends."""
+        get_pm(PMKind.SYCL).validate_target(-1)
+        get_pm(PMKind.KOKKOS).validate_target(-1)
+
+    def test_sycl_and_kokkos_target_devices(self):
+        get_pm(PMKind.SYCL).validate_target(0)
+        get_pm(PMKind.KOKKOS).validate_target(3)
+
+    def test_device_pm_validates_device_exists(self):
+        from repro.errors import LocationError
+
+        with pytest.raises(LocationError):
+            get_pm(PMKind.CUDA).validate_target(99)

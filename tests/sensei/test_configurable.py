@@ -1,0 +1,241 @@
+"""Tests for XML parsing and ConfigurableAnalysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.hamr.allocator import HOST_DEVICE_ID
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.backends.binning import BinningAnalysis
+from repro.sensei.configurable import ConfigurableAnalysis, register_backend
+from repro.sensei.data_adaptor import TableDataAdaptor
+from repro.sensei.execution import ExecutionMethod
+from repro.sensei.placement import PlacementMode
+from repro.sensei.xml_config import parse_xml
+from repro.svtk.table import TableData
+
+
+def make_adaptor(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    t = TableData("bodies")
+    t.add_host_column("x", rng.uniform(-1, 1, n))
+    t.add_host_column("y", rng.uniform(-1, 1, n))
+    t.add_host_column("mass", rng.uniform(0.5, 1.5, n))
+    return TableDataAdaptor({"bodies": t})
+
+
+class TestParseXml:
+    def test_basic_document(self):
+        cfgs = parse_xml(
+            """
+            <sensei>
+              <analysis type="histogram" mesh="bodies" array="mass" bins="16"/>
+              <analysis type="posthoc_io" enabled="0" mesh="bodies" output_dir="o"/>
+            </sensei>
+            """
+        )
+        assert len(cfgs) == 2
+        assert cfgs[0].type == "histogram"
+        assert cfgs[0].enabled
+        assert cfgs[0].get_int("bins") == 16
+        assert not cfgs[1].enabled
+
+    def test_malformed_xml(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            parse_xml("<sensei><analysis></sensei>")
+
+    def test_wrong_root(self):
+        with pytest.raises(ConfigError, match="root"):
+            parse_xml("<config/>")
+
+    def test_unknown_element(self):
+        with pytest.raises(ConfigError, match="unexpected"):
+            parse_xml("<sensei><backend type='x'/></sensei>")
+
+    def test_missing_type(self):
+        with pytest.raises(ConfigError, match="type"):
+            parse_xml("<sensei><analysis mesh='m'/></sensei>")
+
+    def test_bad_enabled(self):
+        with pytest.raises(ConfigError, match="enabled"):
+            parse_xml("<sensei><analysis type='x' enabled='maybe'/></sensei>")
+
+    def test_attr_accessors(self):
+        cfg = parse_xml(
+            "<sensei><analysis type='t' a='1' b='2.5' c='x, y ,z'/></sensei>"
+        )[0]
+        assert cfg.get_int("a") == 1
+        assert cfg.get_float("b") == 2.5
+        assert cfg.get_list("c") == ["x", "y", "z"]
+        assert cfg.get("missing") is None
+        assert cfg.get_int("missing", 9) == 9
+        with pytest.raises(ConfigError):
+            cfg.require("missing")
+        with pytest.raises(ConfigError):
+            cfg.get_int("c")
+
+
+class TestConfigurableAnalysis:
+    def test_builds_and_runs_binning(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="data_binning" mesh="bodies" axes="x,y"
+                        bins="8,8" variables="mass:sum" placement="host"/>
+            </sensei>
+        """)
+        assert len(ca.children) == 1
+        ca.execute(make_adaptor())
+        ca.finalize()
+        child = ca.children[0]
+        assert isinstance(child, BinningAnalysis)
+        assert child.latest.cell_array_as_grid("mass_sum").sum() > 0
+
+    def test_disabled_analyses_skipped(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="histogram" enabled="0" mesh="m" array="a"/>
+            </sensei>
+        """)
+        assert ca.children == []
+
+    def test_execution_and_placement_attributes_applied(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="histogram" mesh="bodies" array="mass"
+                        execution="asynchronous" placement="auto"
+                        n_use="1" offset="3"/>
+            </sensei>
+        """)
+        child = ca.children[0]
+        assert child.execution_method is ExecutionMethod.ASYNCHRONOUS
+        assert child.placement.mode is PlacementMode.AUTO
+        assert child.resolve_device() == 3
+
+    def test_devices_per_node_alias(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="histogram" mesh="m" array="a"
+                        placement="auto" devices_per_node="2"/>
+            </sensei>
+        """)
+        assert ca.children[0].placement.n_use == 2
+
+    def test_manual_placement(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="histogram" mesh="m" array="a"
+                        placement="manual" device="2"/>
+            </sensei>
+        """)
+        assert ca.children[0].resolve_device() == 2
+
+    def test_manual_placement_requires_device(self):
+        with pytest.raises(ConfigError, match="device"):
+            ConfigurableAnalysis(xml="""
+                <sensei>
+                  <analysis type="histogram" mesh="m" array="a"
+                            placement="manual"/>
+                </sensei>
+            """)
+
+    def test_host_placement(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="histogram" mesh="m" array="a" placement="host"/>
+            </sensei>
+        """)
+        assert ca.children[0].resolve_device() == HOST_DEVICE_ID
+
+    def test_unknown_type(self):
+        with pytest.raises(ConfigError, match="unknown analysis type"):
+            ConfigurableAnalysis(xml="<sensei><analysis type='nope'/></sensei>")
+
+    def test_binning_validation_errors(self):
+        with pytest.raises(ConfigError, match="axes"):
+            ConfigurableAnalysis(xml="""
+                <sensei><analysis type="data_binning" mesh="m"/></sensei>
+            """)
+        with pytest.raises(ConfigError, match="bin counts"):
+            ConfigurableAnalysis(xml="""
+                <sensei><analysis type="data_binning" mesh="m"
+                         axes="x,y" bins="1,2,3"/></sensei>
+            """)
+        with pytest.raises(ConfigError, match="name:op"):
+            ConfigurableAnalysis(xml="""
+                <sensei><analysis type="data_binning" mesh="m"
+                         axes="x" bins="4" variables="mass"/></sensei>
+            """)
+
+    def test_binning_strategy_attribute(self):
+        from repro.binning.strategies import BinningStrategy
+
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="data_binning" mesh="m" axes="x" bins="8"
+                        strategy="sorted"/>
+            </sensei>
+        """)
+        assert ca.children[0].binner.device_strategy is BinningStrategy.SORTED
+
+    def test_bad_strategy_rejected(self):
+        from repro.errors import BinningError
+
+        with pytest.raises(BinningError):
+            ConfigurableAnalysis(xml="""
+                <sensei>
+                  <analysis type="data_binning" mesh="m" axes="x" bins="8"
+                            strategy="quantum"/>
+                </sensei>
+            """)
+
+    def test_single_bin_count_broadcast(self):
+        ca = ConfigurableAnalysis(xml="""
+            <sensei>
+              <analysis type="data_binning" mesh="bodies" axes="x,y" bins="256"/>
+            </sensei>
+        """)
+        binner = ca.children[0].binner
+        assert [a.n_bins for a in binner.axes] == [256, 256]
+
+    def test_xor_of_xml_and_path(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ConfigurableAnalysis()
+        p = tmp_path / "cfg.xml"
+        p.write_text("<sensei/>")
+        with pytest.raises(ConfigError):
+            ConfigurableAnalysis(xml="<sensei/>", path=p)
+        assert ConfigurableAnalysis(path=p).children == []
+
+    def test_custom_backend_registration(self):
+        built = {}
+
+        class Custom(AnalysisAdaptor):
+            def acquire(self, data, deep):
+                return None
+
+            def process(self, payload, comm, device_id):
+                built["ran"] = True
+
+        register_backend("custom_probe", lambda cfg: Custom("custom"))
+        ca = ConfigurableAnalysis(
+            xml="<sensei><analysis type='custom_probe'/></sensei>"
+        )
+        ca.execute(make_adaptor())
+        ca.finalize()
+        assert built["ran"]
+
+    def test_paper_nine_coordinate_systems(self):
+        """The evaluation's layout: 9 binning operator instances, each a
+        separate <analysis> element orchestrated sequentially."""
+        pairs = [("x", "y"), ("x", "z"), ("y", "z"),
+                 ("x", "vx"), ("y", "vy"), ("z", "vz"),
+                 ("vx", "vy"), ("vx", "vz"), ("vy", "vz")]
+        xml = "<sensei>" + "".join(
+            f'<analysis type="data_binning" mesh="bodies" '
+            f'axes="{a},{b}" bins="16,16" placement="host"/>'
+            for a, b in pairs
+        ) + "</sensei>"
+        ca = ConfigurableAnalysis(xml=xml)
+        assert len(ca.children) == 9

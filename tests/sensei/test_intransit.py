@@ -1,0 +1,196 @@
+"""Tests for in transit (M-to-N) execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.binning.axes import AxisSpec
+from repro.binning.operator import BinRequest
+from repro.binning.reduce import ReductionOp
+from repro.errors import ExecutionError
+from repro.mpi.comm import run_spmd
+from repro.newton.adaptor import NewtonDataAdaptor
+from repro.newton.solver import NewtonSolver, SolverConfig
+from repro.sensei.backends.binning import BinningAnalysis
+from repro.sensei.intransit import (
+    EndpointRunner,
+    InTransitBridge,
+    InTransitLayout,
+    run_in_transit,
+)
+
+
+class TestLayout:
+    def test_roles(self):
+        lay = InTransitLayout(m=4, n=2)
+        assert lay.world_size == 6
+        assert [lay.is_producer(r) for r in range(6)] == [True] * 4 + [False] * 2
+        assert [lay.is_endpoint(r) for r in range(6)] == [False] * 4 + [True] * 2
+
+    def test_block_mapping(self):
+        lay = InTransitLayout(m=4, n=2)
+        assert [lay.endpoint_of(p) for p in range(4)] == [4, 4, 5, 5]
+        assert lay.producers_of(4) == [0, 1]
+        assert lay.producers_of(5) == [2, 3]
+
+    def test_uneven_mapping_covers_all_producers(self):
+        lay = InTransitLayout(m=5, n=2)
+        served = sum((lay.producers_of(e) for e in (5, 6)), [])
+        assert sorted(served) == list(range(5))
+
+    def test_m_to_one(self):
+        lay = InTransitLayout(m=3, n=1)
+        assert lay.producers_of(3) == [0, 1, 2]
+
+    def test_invalid_layouts(self):
+        with pytest.raises(ExecutionError):
+            InTransitLayout(m=0, n=1)
+        with pytest.raises(ExecutionError):
+            InTransitLayout(m=2, n=3)
+
+    def test_role_validation(self):
+        lay = InTransitLayout(m=2, n=1)
+        with pytest.raises(ExecutionError):
+            lay.endpoint_of(2)
+        with pytest.raises(ExecutionError):
+            lay.producers_of(0)
+
+
+class TestCommSplit:
+    def test_split_partitions_by_color(self):
+        def fn(comm):
+            color = 0 if comm.rank < 3 else 1
+            sub = comm.split(color)
+            return (color, sub.rank, sub.size, sub.allreduce(1))
+
+        out = run_spmd(5, fn)
+        assert [o for o in out if o[0] == 0] == [(0, 0, 3, 3), (0, 1, 3, 3), (0, 2, 3, 3)]
+        assert [o for o in out if o[0] == 1] == [(1, 0, 2, 2), (1, 1, 2, 2)]
+
+    def test_split_key_reorders(self):
+        def fn(comm):
+            sub = comm.split(0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        assert run_spmd(3, fn) == [2, 1, 0]
+
+    def test_singleton_group(self):
+        def fn(comm):
+            sub = comm.split(comm.rank)  # every rank its own group
+            return (sub.size, sub.allreduce(5))
+
+        assert run_spmd(3, fn) == [(1, 5)] * 3
+
+    def test_traffic_in_one_group_invisible_to_other(self):
+        def fn(comm):
+            color = comm.rank % 2
+            sub = comm.split(color)
+            return sub.allreduce(comm.rank)
+
+        out = run_spmd(4, fn)
+        assert out == [2, 4, 2, 4]  # 0+2 and 1+3
+
+
+def _newton_producer(n_bodies=120, steps=3):
+    def producer_main(sim_comm, bridge):
+        solver = NewtonSolver(
+            SolverConfig(n_bodies=n_bodies, dt=1e-3, softening=0.05,
+                         seed=4, mass_range=(0.01, 0.03)),
+            sim_comm,
+        )
+        adaptor = NewtonDataAdaptor(solver)
+        solver.run(steps, bridge=bridge, adaptor=adaptor)
+        return solver.n_local
+
+    return producer_main
+
+
+def _binning_factory():
+    def factory():
+        a = BinningAnalysis(
+            "bodies",
+            [AxisSpec("x", 8, -1, 1)],
+            [BinRequest(ReductionOp.SUM, "mass")],
+            keep_results=True,
+        )
+        a.set_device_id(-1)
+        return [a]
+
+    return factory
+
+
+class TestInTransitRun:
+    @pytest.mark.parametrize("m,n", [(2, 1), (4, 2), (3, 1)])
+    def test_full_pipeline(self, m, n):
+        factory = _binning_factory()
+        layout = InTransitLayout(m=m, n=n)
+        producers, endpoints = run_in_transit(
+            layout, _newton_producer(n_bodies=120, steps=3), factory
+        )
+        assert sum(producers) == 120  # all bodies produced
+        # Every endpoint processed every step, and the binned totals,
+        # reduced over the endpoint communicator, are global.
+        for runner in endpoints:
+            assert runner.steps_processed == 3
+            analysis = runner.analyses[0]
+            assert len(analysis.results) == 3
+            for mesh in analysis.results:
+                assert mesh.cell_array_as_grid("count").sum() == 120
+
+    def test_endpoint_assembles_its_producers_rows(self):
+        layout = InTransitLayout(m=4, n=2)
+        producers, endpoints = run_in_transit(
+            layout, _newton_producer(n_bodies=100, steps=1), _binning_factory()
+        )
+        # Each endpoint's local table holds only its producers' bodies;
+        # locally they bin fewer than 100 rows, globally exactly 100
+        # (already checked above).  Confirm work was split:
+        assert len(endpoints) == 2
+        assert all(r.producers for r in endpoints)
+
+    def test_producer_ship_cost_recorded(self):
+        layout = InTransitLayout(m=2, n=1)
+
+        costs = []
+
+        def producer_main(sim_comm, bridge):
+            solver = NewtonSolver(
+                SolverConfig(n_bodies=80, dt=1e-3, softening=0.05,
+                             seed=1, mass_range=(0.01, 0.03)),
+                sim_comm,
+            )
+            adaptor = NewtonDataAdaptor(solver)
+            solver.run(2, bridge=bridge, adaptor=adaptor)
+            costs.append(bridge.total_apparent_time)
+            return 0
+
+        run_in_transit(layout, producer_main, _binning_factory())
+        assert all(c > 0 for c in costs)
+
+    def test_inconsistent_columns_rejected(self):
+        """Producers shipping different column sets is a hard error."""
+        from repro.errors import MPIError
+        from repro.sensei.data_adaptor import TableDataAdaptor
+        from repro.svtk.table import TableData
+
+        layout = InTransitLayout(m=2, n=1)
+
+        def producer_main(sim_comm, bridge):
+            t = TableData("bodies")
+            t.add_host_column("x", np.zeros(3))
+            if bridge._world.rank == 1:
+                t.add_host_column("extra", np.zeros(3))
+            da = TableDataAdaptor({"bodies": t})
+            da.set_step(1, 0.0)
+            bridge.execute(da)
+            return 0
+
+        with pytest.raises(MPIError):
+            run_in_transit(layout, producer_main, _binning_factory())
+
+    def test_bridge_misuse(self):
+        layout = InTransitLayout(m=1, n=1)
+        bridge = InTransitBridge(layout)
+        with pytest.raises(ExecutionError):
+            bridge.execute(object())  # not initialized

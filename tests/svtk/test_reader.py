@@ -1,0 +1,177 @@
+"""Round-trip tests: writers -> readers preserve data exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.svtk.data_array import HostDataArray
+from repro.svtk.mesh import UniformCartesianMesh
+from repro.svtk.reader import (
+    VtkParseError,
+    read_csv_table,
+    read_vtk_image,
+    read_vtk_particles,
+)
+from repro.svtk.table import TableData
+from repro.svtk.writer import write_csv_table, write_vtk_image, write_vtk_particles
+
+
+class TestImageRoundTrip:
+    def test_2d_mesh_with_arrays(self, tmp_path):
+        m = UniformCartesianMesh((4, 6), origin=(-1, 0), spacing=(0.5, 0.25),
+                                 name="grid")
+        rng = np.random.default_rng(1)
+        m.add_host_cell_array("count", rng.integers(0, 9, 24).astype(float))
+        m.add_host_cell_array("mass_sum", rng.normal(size=24))
+        p = tmp_path / "g.vtk"
+        write_vtk_image(m, p)
+        back = read_vtk_image(p)
+        assert back.dims == m.dims
+        assert back.origin == m.origin
+        assert back.spacing == m.spacing
+        assert back.cell_array_names == m.cell_array_names
+        for name in m.cell_array_names:
+            np.testing.assert_allclose(
+                back.cell_array_as_grid(name), m.cell_array_as_grid(name),
+                rtol=1e-9,
+            )
+
+    def test_1d_and_3d_round_trip(self, tmp_path):
+        for dims in ((5,), (2, 3, 4)):
+            m = UniformCartesianMesh(dims)
+            m.add_host_cell_array("v", np.arange(float(m.n_cells)))
+            p = tmp_path / f"d{len(dims)}.vtk"
+            write_vtk_image(m, p)
+            back = read_vtk_image(p)
+            assert back.dims == dims
+            np.testing.assert_allclose(
+                back.cell_array_as_grid("v"), m.cell_array_as_grid("v")
+            )
+
+    def test_not_vtk_rejected(self, tmp_path):
+        p = tmp_path / "x.vtk"
+        p.write_text("hello")
+        with pytest.raises(VtkParseError):
+            read_vtk_image(p)
+
+    def test_wrong_dataset_rejected(self, tmp_path):
+        x = HostDataArray("x", np.zeros(2))
+        p = tmp_path / "p.vtk"
+        write_vtk_particles([x], p)
+        with pytest.raises(VtkParseError):
+            read_vtk_image(p)
+
+
+class TestParticlesRoundTrip:
+    def test_positions_and_attributes(self, tmp_path):
+        rng = np.random.default_rng(2)
+        cols = {n: rng.normal(size=7) for n in ("x", "y", "z", "mass", "vx")}
+        p = tmp_path / "pts.vtk"
+        write_vtk_particles(
+            [HostDataArray(n, cols[n]) for n in ("x", "y", "z")],
+            p,
+            attributes=[HostDataArray(n, cols[n]) for n in ("mass", "vx")],
+        )
+        back = read_vtk_particles(p)
+        assert back.column_names == ("x", "y", "z", "mass", "vx")
+        for n, vals in cols.items():
+            np.testing.assert_allclose(
+                back[n].as_numpy_host(), vals, rtol=1e-9
+            )
+
+    def test_positions_only(self, tmp_path):
+        p = tmp_path / "pts.vtk"
+        write_vtk_particles([HostDataArray("x", np.array([1.0, 2.0]))], p)
+        back = read_vtk_particles(p)
+        assert back.n_rows == 2
+        np.testing.assert_array_equal(back["y"].as_numpy_host(), [0.0, 0.0])
+
+    def test_newton_snapshot_round_trip(self, tmp_path):
+        from repro.newton.ic import uniform_random
+        from repro.newton.io import write_snapshot
+
+        b = uniform_random(20, seed=3)
+        p = write_snapshot(b, tmp_path / "snap.vtk")
+        back = read_vtk_particles(p)
+        np.testing.assert_allclose(back["x"].as_numpy_host(), b.x, rtol=1e-9)
+        np.testing.assert_allclose(back["mass"].as_numpy_host(), b.mass, rtol=1e-9)
+
+
+class TestCsvRoundTrip:
+    def test_basic(self, tmp_path):
+        t = TableData()
+        t.add_host_column("a", np.array([1.5, -2.0, 3.25]))
+        t.add_host_column("b", np.array([0.0, 10.0, -0.5]))
+        p = tmp_path / "t.csv"
+        write_csv_table(t, p)
+        back = read_csv_table(p)
+        assert back.column_names == ("a", "b")
+        np.testing.assert_allclose(back["a"].as_numpy_host(), [1.5, -2.0, 3.25])
+
+    def test_empty_table(self, tmp_path):
+        p = tmp_path / "e.csv"
+        write_csv_table(TableData(), p)
+        assert read_csv_table(p).n_columns == 0
+
+    def test_ragged_rejected(self, tmp_path):
+        p = tmp_path / "bad.csv"
+        p.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(VtkParseError):
+            read_csv_table(p)
+
+
+def test_trailing_singleton_axis_preserved(tmp_path):
+    """A (3, 1) mesh round-trips with its rank intact: padded axes are
+    written as single-*point* planes, distinct from single-cell axes."""
+    m = UniformCartesianMesh((3, 1))
+    m.add_host_cell_array("v", np.arange(3.0))
+    p = tmp_path / "m.vtk"
+    write_vtk_image(m, p)
+    back = read_vtk_image(p)
+    assert back.dims == (3, 1)
+    np.testing.assert_array_equal(
+        back.cell_array_as_grid("v"), np.arange(3.0).reshape(3, 1)
+    )
+
+
+def test_point_data_round_trip(tmp_path):
+    m = UniformCartesianMesh((2, 3))
+    rng = np.random.default_rng(7)
+    m.add_host_cell_array("c", rng.normal(size=6))
+    m.add_host_point_array("p", rng.normal(size=12))  # (2+1)*(3+1)
+    path = tmp_path / "pd.vtk"
+    write_vtk_image(m, path)
+    back = read_vtk_image(path)
+    assert back.point_array_names == ("p",)
+    np.testing.assert_allclose(
+        back.point_array("p").as_numpy_host(),
+        m.point_array("p").as_numpy_host(),
+        rtol=1e-9,
+    )
+    np.testing.assert_allclose(
+        back.cell_array_as_grid("c"), m.cell_array_as_grid("c"), rtol=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dims=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_image_round_trip_property(dims, seed, tmp_path_factory):
+    """Property: any 2-D mesh with finite data survives a round trip."""
+    rng = np.random.default_rng(seed)
+    m = UniformCartesianMesh(dims, origin=tuple(rng.uniform(-5, 5, 2)),
+                             spacing=tuple(rng.uniform(0.1, 2.0, 2)))
+    m.add_host_cell_array("v", rng.normal(size=m.n_cells))
+    p = tmp_path_factory.mktemp("rt") / "m.vtk"
+    write_vtk_image(m, p)
+    back = read_vtk_image(p)
+    assert back.dims == m.dims
+    np.testing.assert_allclose(back.origin, m.origin, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(
+        back.cell_array_as_grid("v"), m.cell_array_as_grid("v"),
+        rtol=1e-9, atol=1e-12,
+    )

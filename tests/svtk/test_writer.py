@@ -1,0 +1,110 @@
+"""Tests for the host-only writers (paper Listing 4 pattern)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hamr.allocator import Allocator
+from repro.svtk.data_array import HostDataArray
+from repro.svtk.hamr_array import HAMRDataArray
+from repro.svtk.mesh import UniformCartesianMesh
+from repro.svtk.table import TableData
+from repro.svtk.writer import write_csv_table, write_vtk_image, write_vtk_particles
+
+
+class TestVtkImage:
+    def test_header_and_cell_data(self, tmp_path):
+        m = UniformCartesianMesh((2, 2), origin=(0, 0), spacing=(0.5, 0.5))
+        m.add_host_cell_array("mass_sum", np.array([1.0, 2.0, 3.0, 4.0]))
+        p = tmp_path / "grid.vtk"
+        write_vtk_image(m, p)
+        text = p.read_text()
+        assert "DATASET STRUCTURED_POINTS" in text
+        # cells + 1 per real axis; padded axes are single-point planes.
+        assert "DIMENSIONS 3 3 1" in text
+        assert "CELL_DATA 4" in text
+        assert "SCALARS mass_sum double 1" in text
+        assert "1 2 3 4" in text
+
+    def test_device_resident_array_written_via_host_view(self, tmp_path):
+        """libB never knows the data was on a device (Listing 4)."""
+        m = UniformCartesianMesh((2, 2))
+        arr = HAMRDataArray.new("count", 4, allocator=Allocator.CUDA, device_id=1)
+        arr.fill(7.0)
+        m.add_cell_array(arr)
+        p = tmp_path / "dev.vtk"
+        write_vtk_image(m, p)
+        assert "7 7 7 7" in p.read_text()
+
+    def test_3d_mesh(self, tmp_path):
+        m = UniformCartesianMesh((2, 3, 4))
+        m.add_host_cell_array("v", np.zeros(24))
+        write_vtk_image(m, tmp_path / "g.vtk")
+        assert "DIMENSIONS 3 4 5" in (tmp_path / "g.vtk").read_text()
+
+
+class TestVtkParticles:
+    def test_points_and_attributes(self, tmp_path):
+        x = HostDataArray("x", np.array([0.0, 1.0]))
+        y = HostDataArray("y", np.array([2.0, 3.0]))
+        z = HostDataArray("z", np.array([4.0, 5.0]))
+        m = HostDataArray("mass", np.array([10.0, 20.0]))
+        p = tmp_path / "pts.vtk"
+        write_vtk_particles([x, y, z], p, attributes=[m])
+        text = p.read_text()
+        assert "POINTS 2 double" in text
+        assert "0 2 4" in text
+        assert "POINT_DATA 2" in text
+        assert "SCALARS mass double 1" in text
+
+    def test_missing_axes_zero_filled(self, tmp_path):
+        x = HostDataArray("x", np.array([1.0]))
+        p = tmp_path / "pts.vtk"
+        write_vtk_particles([x], p)
+        assert "1 0 0" in p.read_text()
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        x = HostDataArray("x", np.zeros(2))
+        y = HostDataArray("y", np.zeros(3))
+        with pytest.raises(ValueError):
+            write_vtk_particles([x, y], tmp_path / "bad.vtk")
+
+    def test_attribute_length_mismatch_rejected(self, tmp_path):
+        x = HostDataArray("x", np.zeros(2))
+        a = HostDataArray("a", np.zeros(3))
+        with pytest.raises(ValueError):
+            write_vtk_particles([x], tmp_path / "bad.vtk", attributes=[a])
+
+    def test_name_sanitization(self, tmp_path):
+        x = HostDataArray("x", np.zeros(1))
+        a = HostDataArray("my attr", np.zeros(1))
+        write_vtk_particles([x], tmp_path / "p.vtk", attributes=[a])
+        assert "SCALARS my_attr" in (tmp_path / "p.vtk").read_text()
+
+
+class TestCsvTable:
+    def test_round_trip(self, tmp_path):
+        t = TableData()
+        t.add_host_column("x", np.array([1.5, 2.5]))
+        t.add_host_column("y", np.array([-1.0, -2.0]))
+        p = tmp_path / "t.csv"
+        write_csv_table(t, p)
+        lines = p.read_text().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1.5,-1"
+        assert len(lines) == 3
+
+    def test_device_column(self, tmp_path):
+        t = TableData()
+        col = HAMRDataArray.new("m", 2, allocator=Allocator.HIP, device_id=0)
+        col.fill(4.0)
+        t.add_column(col)
+        p = tmp_path / "t.csv"
+        write_csv_table(t, p)
+        assert p.read_text().strip().splitlines()[1] == "4"
+
+    def test_empty_table(self, tmp_path):
+        p = tmp_path / "e.csv"
+        write_csv_table(TableData(), p)
+        assert p.read_text() == "\n"

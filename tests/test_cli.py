@@ -1,0 +1,62 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestTable1Command:
+    def test_prints_matrix(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "lock step" in out
+        assert "512" in out and "384" in out and "256" in out
+
+
+class TestStudyCommand:
+    def test_findings_hold_and_exit_zero(self, capsys):
+        assert main(["study", "--steps", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "Figure 3" in out
+        assert "VIOLATED" not in out
+
+    def test_overhead_knob(self, capsys):
+        assert main(["study", "--steps", "20", "--overhead-ms", "10"]) == 0
+
+
+class TestRunCommand:
+    @pytest.mark.parametrize("placement", ["host", "same", "dedicated1", "dedicated2"])
+    def test_each_placement(self, placement, capsys):
+        assert main([
+            "run", "--placement", placement, "--method", "asynchronous",
+            "--bodies", "200", "--steps", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "total run time" in out
+
+    def test_lockstep(self, capsys):
+        assert main(["run", "--bodies", "150", "--steps", "1"]) == 0
+
+
+class TestTraceCommand:
+    def test_writes_trace_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main([
+            "trace", "--bodies", "150", "--steps", "1", "--out", str(out_file),
+        ]) == 0
+        data = json.loads(out_file.read_text())
+        assert any(e.get("ph") == "X" for e in data)
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--placement", "moon"])

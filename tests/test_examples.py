@@ -1,0 +1,76 @@
+"""Every shipped example must run end to end.
+
+Examples are executed in-process (``runpy``) with argv pointed at a
+temporary output directory, so they stay fast and leave no droppings.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, argv: list[str], monkeypatch) -> None:
+    path = EXAMPLES_DIR / name
+    monkeypatch.setattr(sys, "argv", [str(path), *argv])
+    runpy.run_path(str(path), run_name="__main__")
+
+
+def test_all_examples_are_covered():
+    """Adding an example without a test here must fail loudly."""
+    covered = {
+        "quickstart.py",
+        "pm_interop.py",
+        "nbody_insitu.py",
+        "placement_sweep.py",
+        "galaxy_intransit.py",
+        "profiling_deep_dive.py",
+    }
+    assert set(ALL_EXAMPLES) == covered
+
+
+def test_quickstart(monkeypatch, capsys):
+    run_example("quickstart.py", [], monkeypatch)
+    out = capsys.readouterr().out
+    assert "temporary=True" in out
+    assert "simData storage released" in out
+
+
+def test_pm_interop(monkeypatch, capsys):
+    run_example("pm_interop.py", [], monkeypatch)
+    assert "no library knew another's PM" in capsys.readouterr().out
+
+
+def test_nbody_insitu(monkeypatch, capsys, tmp_path):
+    run_example("nbody_insitu.py", [str(tmp_path)], monkeypatch)
+    out = capsys.readouterr().out
+    assert "total binned mass" in out
+    assert (tmp_path / "bin-xy_step0005.vtk").exists()
+    assert (tmp_path / "bin-xz_step0005.vtk").exists()
+
+
+def test_placement_sweep(monkeypatch, capsys):
+    run_example("placement_sweep.py", [], monkeypatch)
+    out = capsys.readouterr().out
+    assert "VIOLATED" not in out
+    assert out.count("asynchronous") >= 4
+
+
+def test_galaxy_intransit(monkeypatch, capsys, tmp_path):
+    run_example("galaxy_intransit.py", [str(tmp_path)], monkeypatch)
+    out = capsys.readouterr().out
+    assert "endpoints analyzed" in out
+    assert (tmp_path / "mass-xy.vtk").exists()
+
+
+def test_profiling_deep_dive(monkeypatch, capsys, tmp_path):
+    trace = tmp_path / "trace.json"
+    run_example("profiling_deep_dive.py", [str(trace)], monkeypatch)
+    assert trace.exists()
+    assert "utilization" in capsys.readouterr().out

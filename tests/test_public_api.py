@@ -1,0 +1,65 @@
+"""Smoke tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestTopLevelImports:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert getattr(repro, name) is not None, name
+
+    def test_lazy_data_model_exports(self):
+        import repro
+
+        assert repro.HAMRDataArray is not None
+        assert repro.TableData is not None
+        assert repro.UniformCartesianMesh is not None
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            _ = repro.does_not_exist
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.binning
+        import repro.harness
+        import repro.hamr
+        import repro.hw
+        import repro.mpi
+        import repro.newton
+        import repro.pm
+        import repro.sensei
+        import repro.svtk
+
+        for mod in (
+            repro.binning, repro.harness, repro.hamr, repro.hw, repro.mpi,
+            repro.newton, repro.pm, repro.sensei, repro.svtk,
+        ):
+            for name in mod.__all__:
+                assert getattr(mod, name) is not None, f"{mod.__name__}.{name}"
+
+    def test_quickstart_docstring_snippet_runs(self):
+        """The package docstring's quickstart must stay correct."""
+        from repro import Allocator, HAMRDataArray
+
+        arr = HAMRDataArray.new(
+            "simData", 1000, allocator=Allocator.CUDA, device_id=0
+        )
+        arr.fill(-3.14)
+        view = arr.get_host_accessible()
+        arr.synchronize()
+        assert view.get()[0] == -3.14
+        view.release()
+        arr.delete()

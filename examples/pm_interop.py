@@ -12,6 +12,24 @@ internals:
 - *libB* (Listing 4) is host-only C++ and writes the result to disk
   through a host-accessible view.
 
+Zero-copy lifetime contract
+---------------------------
+The driver's arrays are handed to the data model with
+``HAMRDoubleArray.zero_copy`` — no bytes move, the buffer captures a
+*pointer* to storage the driver still owns.  Every wrap therefore names
+a lifetime coordinator:
+
+- ``deleter=`` — a callable invoked exactly once when the container is
+  deleted (the raw-pointer hand-off: the driver's free routine runs at
+  a point where no view can still reference the bytes);
+- ``owner=``  — alternatively, a keep-alive reference for
+  smart-pointer-style shared ownership.
+
+Wrapping without either is flagged by ``python -m repro lint`` (rule
+HL004): the wrapped memory could be reclaimed while SENSEI still reads
+it — the classic zero-copy use-after-free the runtime sanitizer
+(``python -m repro sanitize examples/pm_interop.py``) also detects.
+
 Run:  python examples/pm_interop.py
 """
 
@@ -88,13 +106,23 @@ def lib_b_write(path: Path, a: HAMRDoubleArray) -> None:
 
 def main() -> None:
     n = 100_000
+    released: list[str] = []
 
-    # Listing 2: one array on the host ...
-    a1 = HAMRDoubleArray.new("a1", n, allocator=Allocator.MALLOC)
-    a1.get_data()[:] = 1.0
+    # Listing 2: the driver owns one array in host memory ...
+    host_mem = np.full(n, 1.0)                    # the driver's malloc
+    a1 = HAMRDoubleArray.zero_copy(
+        "a1", host_mem,
+        allocator=Allocator.MALLOC,
+        deleter=lambda: released.append("a1"),    # driver's free routine
+    )
     # ... and one on device 1 under OpenMP offload.
-    a2 = HAMRDoubleArray.new("a2", n, allocator=Allocator.OPENMP, device_id=1)
-    a2.get_data()[:] = 2.0
+    set_active_device(1)                          # omp_set_default_device(1)
+    dev_mem = np.full(n, 2.0)                     # omp_target_alloc storage
+    a2 = HAMRDoubleArray.zero_copy(
+        "a2", dev_mem,
+        allocator=Allocator.OPENMP, device_id=1,
+        deleter=lambda: released.append("a2"),    # omp_target_free
+    )
 
     # libA adds them on device 2 in the CUDA PM.
     a3 = lib_a_add(2, a1, a2)
@@ -107,8 +135,11 @@ def main() -> None:
     print(f"libB wrote {out} (starts with: {first!r})")
     assert first.startswith("3 3 3")
 
+    # Deleting the containers runs each wrap's deleter exactly once;
+    # only now may the driver's storage actually be reclaimed.
     for arr in (a1, a2, a3):
         arr.delete()
+    assert released == ["a1", "a2"], released
     print("ok: host + OpenMP-device data, consumed by CUDA code on a third "
           "device, written by host-only code — no library knew another's PM.")
 

@@ -10,7 +10,12 @@ Commands:
   SENSEI -> data binning) on a single virtual node and print its
   timing decomposition;
 - ``trace``  — like ``run``, additionally writing a Chrome-trace JSON
-  of every resource timeline for Perfetto / chrome://tracing.
+  of every resource timeline for Perfetto / chrome://tracing;
+- ``lint``   — static location/stream safety analyzer (rules
+  HL001-HL006 from :mod:`repro.analysis`), text or JSON reports;
+- ``sanitize`` — execute an example script under the runtime
+  sanitizer and report cross-location reads, use-after-free, and
+  write-while-analyzing races.
 """
 
 from __future__ import annotations
@@ -51,6 +56,28 @@ def _build_parser() -> argparse.ArgumentParser:
         one.add_argument("--steps", type=int, default=3)
         if name == "trace":
             one.add_argument("--out", default="repro_trace.json")
+
+    lint = sub.add_parser(
+        "lint", help="static location/stream safety analyzer (HL001-HL006)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+
+    sanitize = sub.add_parser(
+        "sanitize", help="run an example under the runtime sanitizer"
+    )
+    sanitize.add_argument(
+        "example",
+        help="path to a python script, or the name of a file in examples/",
+    )
+    sanitize.add_argument(
+        "--strict", action="store_true",
+        help="raise SanitizerError at the first violation instead of "
+             "recording and reporting",
+    )
     return p
 
 
@@ -127,11 +154,61 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import lint_paths
+    from repro.analysis.report import format_json, format_text
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: error: {exc}")
+        return 2
+    print(format_json(findings) if args.format == "json"
+          else format_text(findings))
+    return 1 if findings else 0
+
+
+def _resolve_example(target: str):
+    """A script path as given, or a name resolved against examples/."""
+    from pathlib import Path
+
+    import repro
+
+    p = Path(target)
+    if p.is_file():
+        return p
+    name = target if target.endswith(".py") else f"{target}.py"
+    candidate = Path(repro.__file__).resolve().parents[2] / "examples" / name
+    if candidate.is_file():
+        return candidate
+    raise SystemExit(
+        f"repro sanitize: no such script: {target!r} "
+        f"(looked for {p} and {candidate})"
+    )
+
+
+def _cmd_sanitize(args) -> int:
+    import runpy
+
+    from repro.analysis.sanitizer import Sanitizer
+
+    path = _resolve_example(args.example)
+    san = Sanitizer(mode="raise" if args.strict else "record")
+    print(f"sanitizing {path} (mode={san.mode})")
+    with san:
+        runpy.run_path(str(path), run_name="__main__")
+    print(san.format_report())
+    return 1 if san.violations else 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "study": _cmd_study,
     "run": _cmd_run,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 

@@ -1,0 +1,207 @@
+"""The rule engine behind ``python -m repro lint``.
+
+A :class:`Rule` inspects one parsed source file and yields
+:class:`Finding`\\ s.  The engine owns everything rules share: file
+discovery, parsing, per-line ``# lint: disable=HLxxx`` suppressions,
+and stable ordering of results.
+
+Suppression syntax (same line as the finding)::
+
+    values = buf.data          # lint: disable=HL001
+    t = threading.Thread(...)  # lint: disable=HL005,HL001
+    anything_at_all()          # lint: disable=all
+
+Findings carry the same structured ``details`` dict format used by
+:class:`~repro.errors.ReproError` subclasses and the runtime sanitizer,
+so static reports, runtime reports, and exceptions line up.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "iter_python_files",
+    "lint_file",
+    "run_rules",
+]
+
+#: Directories never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "node_modules"}
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Any unsuppressed finding fails the run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    details: tuple = ()  # sorted (key, value) pairs; dict via .details_dict
+
+    @property
+    def details_dict(self) -> dict:
+        return dict(self.details)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (shared format with sanitizer violations)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "details": self.details_dict,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"{self.severity.value}: {self.message}"
+
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number (1-based) -> set of suppressed rule ids."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        ids = {part.strip().upper() for part in m.group(1).split(",")}
+        out[lineno] = {i for i in ids if i}
+    return out
+
+
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(self, path: Path, source: str, tree: ast.AST):
+        self.path = Path(path)
+        #: Forward-slash form used for allowlist suffix matching.
+        self.posix = self.path.resolve().as_posix()
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+
+    def in_module(self, *suffixes: str) -> bool:
+        """True if this file is one of the given path suffixes."""
+        return any(self.posix.endswith(s) for s in suffixes)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self.suppressions.get(line)
+        if not ids:
+            return False
+        return "ALL" in ids or rule_id.upper() in ids
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id`, :attr:`severity`, :attr:`title`, and
+    :attr:`hint`, and implement :meth:`check` as a generator of
+    findings (use :meth:`finding` to build them).
+    """
+
+    id: str = "HL000"
+    severity: Severity = Severity.ERROR
+    title: str = ""
+    hint: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        details: dict | None = None,
+    ) -> Finding:
+        items = tuple(sorted((details or {}).items()))
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+            details=items,
+        )
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_file():
+            if p.suffix == ".py":
+                yield p
+            continue
+        if not p.is_dir():
+            continue
+        for sub in sorted(p.rglob("*.py")):
+            if any(part in _SKIP_DIRS or part.endswith(".egg-info")
+                   for part in sub.parts):
+                continue
+            yield sub
+
+
+def lint_file(path: Path | str, rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over one file, honoring suppressions."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="HL000",
+                severity=Severity.ERROR,
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"could not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    out: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(ctx):
+            if not ctx.is_suppressed(f.line, f.rule):
+                out.append(f)
+    return out
+
+
+def run_rules(paths: Iterable[Path | str], rules: Iterable[Rule]) -> list[Finding]:
+    """Lint every python file under ``paths``; stable ordering."""
+    rules = list(rules)
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,85 @@
+"""Entry point for the static analyzer: ``python -m repro lint``.
+
+``lint_paths`` is the library surface (used by the CI test
+``tests/test_lint_clean.py``); :func:`main` is the CLI surface wired
+into :mod:`repro.__main__`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import Finding, Rule, run_rules
+from repro.analysis.report import format_json, format_text
+from repro.analysis.rules import default_rules
+
+__all__ = ["lint_paths", "main"]
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths`` with the built-in rules.
+
+    ``select`` restricts to the given rule ids (e.g. ``["HL001"]``).
+    """
+    active = list(rules) if rules is not None else default_rules()
+    if select is not None:
+        wanted = {s.strip().upper() for s in select}
+        known = {r.id for r in active}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        active = [r for r in active if r.id in wanted]
+    missing = [str(p) for p in paths if not Path(p).exists()]
+    if missing:
+        raise FileNotFoundError(f"no such path(s): {', '.join(missing)}")
+    return run_rules(paths, active)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro lint",
+        description="static location/stream safety analyzer (rules HL001-HL006)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    return p
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; exit 0 on a clean tree, 1 otherwise."""
+    args = build_parser().parse_args(argv)
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: error: {exc}")
+        return 2
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0

@@ -1,0 +1,408 @@
+"""The built-in rules (HL001-HL006) targeting this codebase's idioms.
+
+Each rule encodes one of the correctness hazards the heterogeneous
+substrate permits mechanically (see :mod:`repro.hamr.buffer`): the
+linter's job is to make them visible before the sanitizer has to catch
+them at run time.
+
+The rules are static heuristics over names and keywords — they resolve
+``Allocator``/``PMKind``/``StreamMode`` members against the real enums
+but do not do type inference.  False positives are expected to be rare
+in this tree and are silenced with ``# lint: disable=HLxxx`` plus a
+justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, Severity
+from repro.hamr.allocator import HOST_DEVICE_ID, Allocator, PMKind
+
+__all__ = [
+    "RawDataAccessRule",
+    "AllocatorMismatchRule",
+    "UnsynchronizedStreamRule",
+    "UnownedWrapRule",
+    "ThreadOutsideRunnerRule",
+    "SwallowedErrorRule",
+    "DEFAULT_RULES",
+    "default_rules",
+]
+
+
+# -- helpers ------------------------------------------------------------------
+
+def _attr_name(node: ast.AST) -> str | None:
+    """Trailing identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _enum_member(node: ast.AST, enum_name: str, enum_cls):
+    """Resolve ``EnumName.MEMBER`` attribute nodes to the real member."""
+    if (
+        isinstance(node, ast.Attribute)
+        and _attr_name(node.value) == enum_name
+    ):
+        return getattr(enum_cls, node.attr, None)
+    return None
+
+
+def _literal_device_id(node: ast.AST) -> int | None:
+    """Literal device ordinals: ints, ``-1``, or ``HOST_DEVICE_ID``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return int(node.value)
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -int(node.operand.value)
+    if _attr_name(node) == "HOST_DEVICE_ID":
+        return HOST_DEVICE_ID
+    return None
+
+
+def _keywords(call: ast.Call) -> dict[str, ast.expr]:
+    return {kw.arg: kw.value for kw in call.keywords if kw.arg is not None}
+
+
+# -- HL001 --------------------------------------------------------------------
+
+class RawDataAccessRule(Rule):
+    """Raw ``Buffer.data`` / ``._data`` access outside the view layer.
+
+    Storage tagged with a location must be dereferenced through the
+    access APIs in :mod:`repro.hamr.view` (or the ``get_*_accessible``
+    methods layered on them), which charge the right simulated costs
+    and stage temporaries.  ``self.data`` / ``self._data`` are exempt
+    (classes managing their own storage), as are the view and buffer
+    modules that *define* the access path.
+    """
+
+    id = "HL001"
+    severity = Severity.ERROR
+    title = "raw buffer storage access outside the view layer"
+    hint = (
+        "route access through repro.hamr.view.accessible_view or the "
+        "HAMRDataArray.get_*_accessible APIs; engine-layer code may "
+        "suppress with '# lint: disable=HL001' and a justification"
+    )
+
+    #: Modules that define the sanctioned access path.
+    allowed = ("repro/hamr/view.py", "repro/hamr/buffer.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(*self.allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in ("data", "_data"):
+                continue
+            if isinstance(node.value, ast.Name) and node.value.id in ("self", "cls"):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"raw '.{node.attr}' access bypasses the location-aware "
+                "view layer",
+                details={"attribute": node.attr},
+            )
+
+
+# -- HL002 --------------------------------------------------------------------
+
+class AllocatorMismatchRule(Rule):
+    """Allocator paired with an incompatible location or PM.
+
+    Flags calls whose literal keywords contradict the allocator's
+    capabilities: a host-resident allocator targeting a device ordinal,
+    a device allocator targeting ``HOST_DEVICE_ID``, or a
+    device-resident allocator paired with the host-only PM.
+    """
+
+    id = "HL002"
+    severity = Severity.ERROR
+    title = "allocator/location/PM mismatch"
+    hint = (
+        "pick the allocator for where the memory must live: host "
+        "allocators (MALLOC/NEW/*_HOST) pair with HOST_DEVICE_ID, "
+        "device allocators with a device ordinal and a device PM"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kws = _keywords(node)
+            alloc = _enum_member(kws.get("allocator"), "Allocator", Allocator)
+            if alloc is None:
+                continue
+            details = {"allocator": alloc.name}
+            dev = (
+                _literal_device_id(kws["device_id"])
+                if "device_id" in kws
+                else None
+            )
+            if dev is not None:
+                details["device_id"] = dev
+                if alloc.is_host_resident and dev != HOST_DEVICE_ID:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"host-resident allocator {alloc.name} cannot "
+                        f"target device {dev}",
+                        details=details,
+                    )
+                elif alloc.is_device_resident and dev < 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"device allocator {alloc.name} cannot target "
+                        "host memory",
+                        details=details,
+                    )
+            pm = _enum_member(kws.get("pm"), "PMKind", PMKind)
+            if pm is PMKind.HOST and alloc.is_device_resident:
+                details["pm"] = pm.value
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"device allocator {alloc.name} paired with the "
+                    "host-only PM",
+                    details=details,
+                )
+
+
+# -- HL003 --------------------------------------------------------------------
+
+class UnsynchronizedStreamRule(Rule):
+    """A stream created and used asynchronously but never synchronized.
+
+    Within one function: ``s = Stream(...)`` followed by a call passing
+    ``stream=s`` together with ``mode=StreamMode.ASYNC`` (or
+    ``stream_mode=StreamMode.ASYNC``) is flagged unless the function
+    also synchronizes *something* (``.synchronize()``/``.drain()``),
+    returns the stream, or stores it on ``self`` — i.e. unless the
+    completion is someone's responsibility.
+    """
+
+    id = "HL003"
+    severity = Severity.WARNING
+    title = "asynchronous stream never synchronized"
+    hint = (
+        "call stream.synchronize(clock) (or synchronize the buffers "
+        "ordered on it) before the results are consumed, or hand the "
+        "stream to a caller that will"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            created: dict[str, ast.Call] = {}
+            async_used: set[str] = set()
+            discharged = False
+            escaped: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    if _attr_name(node.value.func) == "Stream":
+                        for tgt in node.targets:
+                            if isinstance(tgt, ast.Name):
+                                created[tgt.id] = node.value
+                            elif isinstance(tgt, ast.Attribute):
+                                # stored on an object: lifetime escapes
+                                pass
+                if isinstance(node, ast.Call):
+                    fname = _attr_name(node.func)
+                    if fname in ("synchronize", "drain", "wait_event"):
+                        discharged = True
+                    kws = _keywords(node)
+                    stream_kw = kws.get("stream")
+                    mode_kw = kws.get("mode") or kws.get("stream_mode")
+                    if (
+                        isinstance(stream_kw, ast.Name)
+                        and _attr_name(mode_kw) == "ASYNC"
+                    ):
+                        async_used.add(stream_kw.id)
+                if isinstance(node, ast.Return) and node.value is not None:
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name):
+                            escaped.add(sub.id)
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Attribute):
+                            escaped.add(node.value.id)
+            if discharged:
+                continue
+            for name in sorted(async_used & set(created) - escaped):
+                yield self.finding(
+                    ctx,
+                    created[name],
+                    f"stream {name!r} orders asynchronous work but is "
+                    "never synchronized in this function",
+                    details={"stream": name, "stream_mode": "async"},
+                )
+
+
+# -- HL004 --------------------------------------------------------------------
+
+class UnownedWrapRule(Rule):
+    """Zero-copy construction without a lifetime owner.
+
+    ``Buffer.wrap`` / ``*.zero_copy`` capture a pointer to externally
+    allocated memory; without an ``owner`` (keep-alive) or ``deleter``
+    (coordinated free) the wrapped storage can disappear while the
+    buffer still references it — the classic zero-copy use-after-free.
+    """
+
+    id = "HL004"
+    severity = Severity.WARNING
+    title = "zero-copy wrap without lifetime owner"
+    hint = (
+        "pass owner= (keep-alive reference) or deleter= (called once "
+        "on free) so the external memory outlives the buffer"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            if attr == "wrap":
+                recv = _attr_name(node.func.value)
+                if recv is None or not recv.endswith("Buffer"):
+                    continue
+            elif attr != "zero_copy":
+                continue
+            if any(kw.arg is None for kw in node.keywords):
+                continue  # **kwargs forwarding: cannot see statically
+            kws = _keywords(node)
+            if "owner" in kws or "deleter" in kws:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"zero-copy '{attr}' without owner= or deleter=: the "
+                "wrapped memory's lifetime is uncoordinated",
+                details={"constructor": attr},
+            )
+
+
+# -- HL005 --------------------------------------------------------------------
+
+class ThreadOutsideRunnerRule(Rule):
+    """Direct ``threading.Thread`` use outside :class:`AsyncRunner`.
+
+    Ad-hoc threads bypass the simulated-clock hand-off, back-pressure,
+    and exception propagation that :class:`AsyncRunner` provides; a
+    thread without its own :class:`SimClock` silently reads the
+    launching thread's clock and corrupts simulated time.
+    """
+
+    id = "HL005"
+    severity = Severity.ERROR
+    title = "raw thread outside AsyncRunner"
+    hint = (
+        "use repro.sensei.execution.AsyncRunner (simulated clocks, "
+        "drain semantics, error propagation) instead of a raw Thread"
+    )
+
+    #: The module that implements the sanctioned threading machinery.
+    allowed = ("repro/sensei/execution.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(*self.allowed):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_thread = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "Thread"
+                and _attr_name(func.value) == "threading"
+            ) or (isinstance(func, ast.Name) and func.id == "Thread")
+            if is_thread:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct threading.Thread use outside AsyncRunner",
+                )
+
+
+# -- HL006 --------------------------------------------------------------------
+
+class SwallowedErrorRule(Rule):
+    """Bare ``except:`` or a silently swallowed ``StreamError``.
+
+    A bare except hides every substrate error (including sanitizer
+    violations); catching ``StreamError``/``SynchronizationError`` and
+    doing nothing discards exactly the signal the stream layer exists
+    to raise.
+    """
+
+    id = "HL006"
+    severity = Severity.ERROR
+    title = "swallowed stream error / bare except"
+    hint = (
+        "catch the narrowest ReproError subclass you can handle and "
+        "either handle it or re-raise; never pass on a StreamError"
+    )
+
+    _stream_errors = ("StreamError", "SynchronizationError")
+
+    def _catches_stream_error(self, handler: ast.ExceptHandler) -> bool:
+        t = handler.type
+        nodes = t.elts if isinstance(t, ast.Tuple) else [t]
+        return any(_attr_name(n) in self._stream_errors for n in nodes if n)
+
+    @staticmethod
+    def _body_swallows(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / ellipsis
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, "bare 'except:' hides substrate errors"
+                )
+            elif self._catches_stream_error(node) and self._body_swallows(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "StreamError caught and silently discarded",
+                )
+
+
+DEFAULT_RULES: tuple[type[Rule], ...] = (
+    RawDataAccessRule,
+    AllocatorMismatchRule,
+    UnsynchronizedStreamRule,
+    UnownedWrapRule,
+    ThreadOutsideRunnerRule,
+    SwallowedErrorRule,
+)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every built-in rule."""
+    return [cls() for cls in DEFAULT_RULES]

@@ -93,10 +93,12 @@ def bin_device(
         name=f"bins[{op.value}]",
     )
     shape = op.accumulator_shape(n_cells)
+    # Device memset through the buffer API (charges the simulated
+    # memset and keeps the raw storage behind the location tag).
     if op is ReductionOp.AVERAGE:
-        acc.data[:] = 0.0
+        acc.fill(0.0)
     else:
-        acc.data[:] = op.identity
+        acc.fill(float(op.identity))
 
     cost = strategy_kernel_cost(strategy, flat_idx.size, n_cells, op)
     reads = [flat_idx] + ([values] if values is not None else [])

@@ -120,10 +120,12 @@ class DataBinner:
         if isinstance(col, HAMRDataArray):
             return col.get_accessible(PMKind.CUDA, device_id, stream, mode)
         # Host-only arrays (stock VTK baseline): wrap, then move.
+        values = np.asarray(col.as_numpy_host(), dtype=np.float64)
         host = Buffer.wrap(
-            np.asarray(col.as_numpy_host(), dtype=np.float64),
+            values,
             Allocator.MALLOC,
             name=col.name,
+            owner=values,
         )
         return accessible_view(host, PMKind.CUDA, device_id, stream=stream, mode=mode)
 
@@ -275,9 +277,17 @@ class DataBinner:
                 mode=mode, strategy=self.device_strategy,
             )
             acc.synchronize()
-            grids.append(
-                np.array(acc.data, copy=True).reshape(req.op.accumulator_shape(n_cells))
-            )
+            # Read the device accumulator back through the access API:
+            # the host is the wrong side of the bus here, so this stages
+            # a temporary and charges the D2H transfer the raw `.data`
+            # read used to get for free.
+            with accessible_view(acc, PMKind.HOST, HOST_DEVICE_ID,
+                                 stream=stream, mode=mode) as acc_view:
+                acc_view.synchronize()
+                grids.append(
+                    np.array(acc_view.get(), copy=True)
+                    .reshape(req.op.accumulator_shape(n_cells))
+                )
             acc.free()
             if val_view is not None:
                 val_view.release()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "SanitizerError",
     "AllocationError",
     "DeviceOutOfMemoryError",
     "InvalidAllocatorError",
@@ -29,7 +30,28 @@ __all__ = [
 
 
 class ReproError(Exception):
-    """Base class for every error raised by :mod:`repro`."""
+    """Base class for every error raised by :mod:`repro`.
+
+    ``details`` carries structured context about the failure — for
+    memory/stream errors the offending buffer name, device id, and
+    stream mode — in the same ``{key: value}`` format the static
+    analyzer's findings and the runtime sanitizer's violation reports
+    use (:mod:`repro.analysis`), so exceptions and reports line up.
+    """
+
+    def __init__(self, *args, details: dict | None = None):
+        super().__init__(*args)
+        self.details: dict = dict(details) if details else {}
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer detected an illegal access pattern.
+
+    Raised by :class:`repro.analysis.sanitizer.Sanitizer` in ``raise``
+    mode; ``details`` names the buffer, device, stream mode, and the
+    violation ``kind`` (cross-location-read, use-after-free,
+    write-while-analyzing).
+    """
 
 
 class AllocationError(ReproError):
@@ -45,7 +67,12 @@ class DeviceOutOfMemoryError(AllocationError):
         self.available = int(available)
         super().__init__(
             f"device {device} out of memory: requested {requested} bytes, "
-            f"{available} bytes available"
+            f"{available} bytes available",
+            details={
+                "device_id": getattr(device, "device_id", str(device)),
+                "requested": int(requested),
+                "available": int(available),
+            },
         )
 
 

@@ -92,7 +92,14 @@ class Buffer:
         """
         size = int(size)
         if size < 0:
-            raise AllocationError(f"negative size: {size}")
+            raise AllocationError(
+                f"negative size: {size}",
+                details={
+                    "buffer": name or "alloc",
+                    "device_id": device_id,
+                    "stream_mode": stream_mode.value,
+                },
+            )
         if device_id is None:
             device_id = (
                 HOST_DEVICE_ID if allocator.is_host_resident else get_active_device()
@@ -107,7 +114,13 @@ class Buffer:
         elif stream.device_id not in (device_id, HOST_DEVICE_ID) and not allocator.is_host_resident:
             raise StreamError(
                 f"stream {stream.name} targets device {stream.device_id}, "
-                f"cannot order allocation on device {device_id}"
+                f"cannot order allocation on device {device_id}",
+                details={
+                    "buffer": name or "alloc",
+                    "device_id": device_id,
+                    "stream": stream.name,
+                    "stream_mode": stream_mode.value,
+                },
             )
 
         data = np.empty(size, dtype=dtype)
@@ -199,7 +212,14 @@ class Buffer:
         :func:`repro.hamr.view.accessible_view`.
         """
         if self._freed:
-            raise AllocationError(f"buffer {self.name} was freed")
+            raise AllocationError(
+                f"buffer {self.name} was freed",
+                details={
+                    "buffer": self.name,
+                    "device_id": self.device_id,
+                    "stream_mode": self.stream_mode.value,
+                },
+            )
         return self._data
 
     @property

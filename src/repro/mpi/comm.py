@@ -466,7 +466,10 @@ def run_spmd(
                 world.barrier.abort()
 
     threads = [
-        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}")
+        # SPMD ranks are peers, not analysis tasks: each gets its own
+        # clock via use_clock above, so AsyncRunner's single-lane
+        # drain semantics do not apply here.
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}")  # lint: disable=HL005
         for r in range(size)
     ]
     for t in threads:

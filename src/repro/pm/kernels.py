@@ -91,8 +91,10 @@ def launch(
     for b in (*reads, *writes):
         after = max(after, b.ready_at)
 
-    # Real numerics, simulated time.
-    fn(*[b.data for b in reads], *[b.data for b in writes])
+    # Real numerics, simulated time.  The launcher is the execution
+    # engine: operands were staged by the access APIs (launch's
+    # contract) and the roofline duration is charged below.
+    fn(*[b.data for b in reads], *[b.data for b in writes])  # lint: disable=HL001
 
     if resource.is_host:
         dur = resource.kernel_time(

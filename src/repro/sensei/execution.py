@@ -30,6 +30,7 @@ from repro.hamr.allocator import HOST_DEVICE_ID, Allocator, PMKind
 from repro.hamr.buffer import Buffer
 from repro.hamr.copier import transfer
 from repro.hamr.runtime import current_clock, use_clock
+from repro.hamr.view import accessible_view
 from repro.hw.clock import SimClock
 from repro.svtk.data_array import DataArray, HostDataArray
 from repro.svtk.hamr_array import HAMRDataArray
@@ -71,28 +72,37 @@ def deep_copy_table(table: TableData, clock: SimClock | None = None) -> TableDat
         col = table.column(name)
         if isinstance(col, HAMRDataArray):
             src = col.buffer
+            dst_pm = src.allocator.pm_kind if not src.on_host else PMKind.HOST
+            dst_loc = HOST_DEVICE_ID if src.on_host else src.device_id
             dst = transfer(
                 src,
-                HOST_DEVICE_ID if src.on_host else src.device_id,
-                pm=src.allocator.pm_kind if not src.on_host else PMKind.HOST,
+                dst_loc,
+                pm=dst_pm,
                 allocator=src.allocator,
                 clock=clock,
                 name=f"snapshot-{name}",
             )
-            copy = HAMRDataArray.zero_copy(
-                name,
-                dst.data,
-                allocator=dst.allocator,
-                device_id=HOST_DEVICE_ID if dst.on_host else dst.device_id,
-                owner=dst,
-            )
+            # The snapshot was allocated in place, so this view is a
+            # zero-cost alias; it keeps the raw access on the sanctioned
+            # location-aware path.
+            with accessible_view(dst, dst_pm, dst_loc, clock=clock) as sp:
+                copy = HAMRDataArray.zero_copy(
+                    name,
+                    sp.get(),
+                    allocator=dst.allocator,
+                    device_id=dst_loc,
+                    owner=dst,
+                )
             out.add_column(copy)
         else:
             values = np.array(col.as_numpy_host(), copy=True)
-            src = Buffer.wrap(values, Allocator.MALLOC, name=f"snapshot-{name}")
+            src = Buffer.wrap(
+                values, Allocator.MALLOC, name=f"snapshot-{name}", owner=values
+            )
             # Charge the host memcpy to the caller.
             dst = transfer(src, HOST_DEVICE_ID, pm=PMKind.HOST, clock=clock)
-            out.add_column(HostDataArray(name, dst.data))
+            with accessible_view(dst, PMKind.HOST, HOST_DEVICE_ID, clock=clock) as sp:
+                out.add_column(HostDataArray(name, sp.get()))
     return out
 
 

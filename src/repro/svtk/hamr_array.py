@@ -276,7 +276,8 @@ class HAMRDataArray(DataArray):
         Legal only when the caller knows the location and PM — e.g. for
         an array it just allocated in place.
         """
-        return self._require_buffer().data
+        # This *is* the sanctioned direct-access API (paper's GetData).
+        return self._require_buffer().data  # lint: disable=HL001
 
     # -- operations ----------------------------------------------------------------
     def fill(self, value: float) -> None:

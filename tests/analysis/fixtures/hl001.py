@@ -1,0 +1,24 @@
+"""Fixture: HL001 — raw buffer storage access outside the view layer.
+
+Never executed; parsed by the linter in tests/analysis/test_rules.py.
+Lines carrying a violation are marked with a trailing `# expect: HLxxx`
+comment the test harness reads back.
+"""
+
+
+class Holder:
+    def __init__(self, data):
+        self._data = data
+
+    def own(self):
+        return self._data  # self access is exempt (own storage)
+
+
+def touch(buf):
+    values = buf.data  # expect: HL001
+    raw = buf._data  # expect: HL001
+    return values, raw
+
+
+def suppressed(buf):
+    return buf.data  # lint: disable=HL001

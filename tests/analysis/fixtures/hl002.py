@@ -1,0 +1,30 @@
+"""Fixture: HL002 — allocator paired with an incompatible location/PM."""
+
+from repro.hamr.allocator import HOST_DEVICE_ID, Allocator, PMKind
+from repro.hamr.buffer import Buffer
+from repro.hamr.copier import transfer
+
+
+def host_allocator_on_device():
+    return Buffer.allocate(16, allocator=Allocator.MALLOC, device_id=2)  # expect: HL002
+
+
+def device_allocator_on_host():
+    return Buffer.allocate(16, allocator=Allocator.CUDA, device_id=HOST_DEVICE_ID)  # expect: HL002
+
+
+def device_allocator_negative_literal():
+    return Buffer.allocate(16, allocator=Allocator.HIP, device_id=-1)  # expect: HL002
+
+
+def device_allocator_with_host_pm(buf):
+    return transfer(buf, -1, pm=PMKind.HOST, allocator=Allocator.CUDA)  # expect: HL002
+
+
+def consistent():
+    Buffer.allocate(16, allocator=Allocator.MALLOC, device_id=HOST_DEVICE_ID)
+    Buffer.allocate(16, allocator=Allocator.CUDA, device_id=1)
+
+
+def suppressed():
+    return Buffer.allocate(16, allocator=Allocator.CUDA, device_id=-1)  # lint: disable=HL002

@@ -1,0 +1,34 @@
+"""Fixture: HL004 — zero-copy wrap without a lifetime owner."""
+
+from repro.hamr.allocator import Allocator
+from repro.hamr.buffer import Buffer
+from repro.svtk.hamr_array import HAMRDataArray, HAMRDoubleArray
+
+
+def unowned_wrap(values):
+    return Buffer.wrap(values, Allocator.MALLOC)  # expect: HL004
+
+
+def unowned_zero_copy(values):
+    return HAMRDataArray.zero_copy("x", values)  # expect: HL004
+
+
+def unowned_typed_zero_copy(values):
+    return HAMRDoubleArray.zero_copy("x", values, allocator=Allocator.OPENMP, device_id=1)  # expect: HL004
+
+
+def with_owner(values):
+    return Buffer.wrap(values, Allocator.MALLOC, owner=values)
+
+
+def with_deleter(values, free_fn):
+    return HAMRDataArray.zero_copy("x", values, deleter=free_fn)
+
+
+def forwarding(values, **kwargs):
+    # **kwargs may carry owner/deleter; statically unknowable, not flagged.
+    return Buffer.wrap(values, Allocator.MALLOC, **kwargs)
+
+
+def suppressed(values):
+    return Buffer.wrap(values, Allocator.MALLOC)  # lint: disable=HL004

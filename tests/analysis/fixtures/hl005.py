@@ -1,0 +1,23 @@
+"""Fixture: HL005 — direct threading.Thread use outside AsyncRunner."""
+
+import threading
+from threading import Thread
+
+
+def raw_thread(fn):
+    t = threading.Thread(target=fn)  # expect: HL005
+    t.start()
+    return t
+
+
+def raw_thread_from_import(fn):
+    return Thread(target=fn)  # expect: HL005
+
+
+def sanctioned(runner, fn):
+    runner.launch(fn)
+    runner.drain()
+
+
+def suppressed(fn):
+    return threading.Thread(target=fn)  # lint: disable=HL005

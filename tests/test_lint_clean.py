@@ -1,0 +1,79 @@
+"""CI wiring: the tree must stay lint-clean.
+
+Runs the repro.analysis linter over ``src/``, ``examples/`` and
+``benchmarks/`` as part of the tier-1 suite, so a new HL violation
+fails pytest the same way a unit-test regression would.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import lint_paths, main
+from repro.analysis.report import format_text
+
+SRC = Path(repro.__file__).resolve().parent          # src/repro
+REPO_ROOT = SRC.parents[1]                           # repo root
+
+
+def _tree_paths():
+    paths = [SRC]
+    for extra in ("examples", "benchmarks"):
+        p = REPO_ROOT / extra
+        if p.is_dir():
+            paths.append(p)
+    return paths
+
+
+def test_tree_is_lint_clean():
+    findings = lint_paths(_tree_paths())
+    assert findings == [], "\n" + format_text(findings)
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+    dirty = tmp_path / "bad.py"
+    dirty.write_text("def f(b):\n    return b._data\n")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "HL001" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    import json
+
+    dirty = tmp_path / "bad.py"
+    dirty.write_text("import threading\nt = threading.Thread()\n")
+    assert main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["errors"] >= 1
+    assert payload["findings"][0]["rule"] == "HL005"
+
+
+def test_cli_rejects_unknown_rule_id(tmp_path, capsys):
+    p = tmp_path / "ok.py"
+    p.write_text("x = 1\n")
+    assert main([str(p), "--select", "HL999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().out
+
+
+def test_cli_rejects_missing_path(capsys):
+    assert main(["/no/such/path"]) == 2
+    assert "no such path" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("module", ["lint", "sanitize"])
+def test_repro_main_exposes_subcommands(module):
+    from repro.__main__ import _build_parser
+
+    parser = _build_parser()
+    # Will raise SystemExit(2) if the subcommand is unknown.
+    args = parser.parse_args([module] if module == "lint" else [module, "x"])
+    assert args.command == module

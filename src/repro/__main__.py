@@ -12,7 +12,7 @@ Commands:
 - ``trace``  — like ``run``, additionally writing a Chrome-trace JSON
   of every resource timeline for Perfetto / chrome://tracing;
 - ``lint``   — static location/stream safety analyzer (rules
-  HL001-HL006 from :mod:`repro.analysis`), text or JSON reports;
+  HL001-HL007 from :mod:`repro.analysis`), text or JSON reports;
 - ``sanitize`` — execute an example script under the runtime
   sanitizer and report cross-location reads, use-after-free, and
   write-while-analyzing races.
@@ -58,7 +58,7 @@ def _build_parser() -> argparse.ArgumentParser:
             one.add_argument("--out", default="repro_trace.json")
 
     lint = sub.add_parser(
-        "lint", help="static location/stream safety analyzer (HL001-HL006)"
+        "lint", help="static location/stream safety analyzer (HL001-HL007)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")

@@ -8,7 +8,7 @@ hazards *detectable*:
 
 - :mod:`repro.analysis.lint` — an AST-based static analyzer with a
   small rule engine (:mod:`repro.analysis.engine`) and rules targeting
-  this codebase's idioms (:mod:`repro.analysis.rules`, HL001-HL006);
+  this codebase's idioms (:mod:`repro.analysis.rules`, HL001-HL007);
 - :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer that
   instruments :class:`~repro.hamr.buffer.Buffer` and
   :class:`~repro.sensei.execution.AsyncRunner` to catch cross-location

@@ -47,7 +47,7 @@ def lint_paths(
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro lint",
-        description="static location/stream safety analyzer (rules HL001-HL006)",
+        description="static location/stream safety analyzer (rules HL001-HL007)",
     )
     p.add_argument(
         "paths",

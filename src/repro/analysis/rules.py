@@ -1,4 +1,4 @@
-"""The built-in rules (HL001-HL006) targeting this codebase's idioms.
+"""The built-in rules (HL001-HL007) targeting this codebase's idioms.
 
 Each rule encodes one of the correctness hazards the heterogeneous
 substrate permits mechanically (see :mod:`repro.hamr.buffer`): the
@@ -27,6 +27,7 @@ __all__ = [
     "UnownedWrapRule",
     "ThreadOutsideRunnerRule",
     "SwallowedErrorRule",
+    "PoolLeakRule",
     "DEFAULT_RULES",
     "default_rules",
 ]
@@ -393,6 +394,94 @@ class SwallowedErrorRule(Rule):
                 )
 
 
+# -- HL007 --------------------------------------------------------------------
+
+class PoolLeakRule(Rule):
+    """A pool ``acquire`` without a ``release``/``trim`` in scope.
+
+    Within one function: acquiring a block from a memory pool
+    (``pool_for(res).acquire(...)`` or ``pool.acquire(...)`` on a name
+    bound from ``pool_for``) without any ``release``/``trim`` call in
+    the same function leaks the block's footprint — the bytes stay
+    claimed on the device until someone trims.  The acquire is exempt
+    when the pool escapes the function (returned, stored on ``self``),
+    i.e. when releasing is visibly someone else's responsibility.
+    """
+
+    id = "HL007"
+    severity = Severity.WARNING
+    title = "pool acquire without release/trim in scope"
+    hint = (
+        "pair pool.acquire(nbytes) with pool.release(nbytes) (or a "
+        "trim()) in the same scope, or hand the pool to an owner that "
+        "frees it; allocation/free layers may suppress with "
+        "'# lint: disable=HL007' and a justification"
+    )
+
+    #: The allocation/free layer splits acquire and release across
+    #: functions by design (allocate vs free), and the pool module
+    #: defines the machinery itself.
+    allowed = ("repro/hamr/buffer.py", "repro/hamr/pool.py")
+
+    @staticmethod
+    def _is_pool_receiver(recv: ast.AST, pool_names: set[str]) -> bool:
+        if isinstance(recv, ast.Call) and _attr_name(recv.func) == "pool_for":
+            return True
+        name = _attr_name(recv)
+        return name is not None and name in pool_names
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(*self.allowed):
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            pool_names: set[str] = set()
+            escaped: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    if _attr_name(node.value.func) == "pool_for":
+                        for tgt in node.targets:
+                            if isinstance(tgt, ast.Name):
+                                pool_names.add(tgt.id)
+                            elif isinstance(tgt, ast.Attribute):
+                                escaped.add("")  # stored: escapes
+                if isinstance(node, ast.Return) and node.value is not None:
+                    for sub in ast.walk(node.value):
+                        if isinstance(sub, ast.Name):
+                            escaped.add(sub.id)
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Attribute):
+                            escaped.add(node.value.id)
+            acquires: list[ast.Call] = []
+            discharged = False
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                attr = node.func.attr
+                recv = node.func.value
+                if attr == "acquire" and self._is_pool_receiver(recv, pool_names):
+                    acquires.append(node)
+                elif attr in ("release", "trim"):
+                    discharged = True
+            if discharged:
+                continue
+            for call in acquires:
+                recv_name = _attr_name(call.func.value)
+                if recv_name in escaped:
+                    continue
+                yield self.finding(
+                    ctx,
+                    call,
+                    "pool block acquired but never released or trimmed "
+                    "in this scope",
+                    details={"pool": recv_name or "pool_for(...)"},
+                )
+
+
 DEFAULT_RULES: tuple[type[Rule], ...] = (
     RawDataAccessRule,
     AllocatorMismatchRule,
@@ -400,6 +489,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     UnownedWrapRule,
     ThreadOutsideRunnerRule,
     SwallowedErrorRule,
+    PoolLeakRule,
 )
 
 

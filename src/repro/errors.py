@@ -21,6 +21,7 @@ __all__ = [
     "ShapeMismatchError",
     "MPIError",
     "RankMismatchError",
+    "TransportError",
     "ConfigError",
     "PlacementError",
     "ExecutionError",
@@ -110,6 +111,16 @@ class MPIError(ReproError):
 
 class RankMismatchError(MPIError):
     """A collective was invoked with inconsistent participation."""
+
+
+class TransportError(MPIError):
+    """Failure in the data-transport plane (:mod:`repro.transport`).
+
+    Raised for wire-format violations (unknown codec, version or
+    checksum mismatch on a complete set) and for delivery giving up
+    (retry budget exhausted, drain timeout); ``details`` carries the
+    peer, step, and sequence context.
+    """
 
 
 class ConfigError(ReproError):

@@ -96,16 +96,21 @@ class MemoryPool:
 
 
 _pools_lock = threading.Lock()
-_pools: dict[int, MemoryPool] = {}
+# Keyed by the resource itself (identity hash), NOT id(resource): an id
+# holds no reference, so a collected resource's id can be reused by a
+# new object, silently aliasing it onto the dead resource's pool.  The
+# strong reference pins registered resources for the registry's
+# lifetime; reset_pools() is the release valve.
+_pools: dict[ComputeResource, MemoryPool] = {}
 
 
 def pool_for(resource: ComputeResource) -> MemoryPool:
     """The (process-wide) pool bound to ``resource``."""
     with _pools_lock:
-        pool = _pools.get(id(resource))
+        pool = _pools.get(resource)
         if pool is None:
             pool = MemoryPool(resource)
-            _pools[id(resource)] = pool
+            _pools[resource] = pool
         return pool
 
 

@@ -140,13 +140,18 @@ def concurrency_profile(
 
 
 def chrome_trace(
-    timelines: Iterable[Timeline], time_scale: float = 1e6
+    timelines: Iterable[Timeline],
+    time_scale: float = 1e6,
+    extra_events: Iterable[Mapping] = (),
 ) -> list[dict]:
     """Events in the Chrome trace-event (JSON array) format.
 
     ``time_scale`` converts simulated seconds to trace microseconds.
     Each timeline becomes one "thread"; categories map to trace
-    categories so Perfetto can color/filter them.
+    categories so Perfetto can color/filter them.  ``extra_events``
+    are appended verbatim — the hook the transport plane uses to emit
+    its counter events (retries, bytes, compression ratio) next to the
+    timelines they explain.
     """
     out: list[dict] = []
     for tid, tl in enumerate(timelines):
@@ -173,10 +178,15 @@ def chrome_trace(
                     "dur": ev.duration * time_scale,
                 }
             )
+    out.extend(dict(e) for e in extra_events)
     return out
 
 
-def write_chrome_trace(path, timelines: Iterable[Timeline]) -> None:
+def write_chrome_trace(
+    path,
+    timelines: Iterable[Timeline],
+    extra_events: Iterable[Mapping] = (),
+) -> None:
     """Write a ``chrome://tracing`` / Perfetto loadable JSON file."""
     with open(path, "w", encoding="ascii") as f:
-        json.dump(chrome_trace(timelines), f)
+        json.dump(chrome_trace(timelines, extra_events=extra_events), f)

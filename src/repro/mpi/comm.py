@@ -66,7 +66,18 @@ class CommCostModel:
         return rounds * self.message(nbytes)
 
 
+#: Wall-clock fallback applied when ``recv`` is called without a timeout;
+#: hitting it means a peer died or the program deadlocked, reported as a
+#: structured :class:`MPIError` (tests shrink this to keep failures fast).
+DEFAULT_RECV_TIMEOUT = 60.0
+
+
 def _payload_bytes(obj: Any) -> int:
+    wire = getattr(obj, "wire_nbytes", None)
+    if wire is not None:
+        # Transport-plane frames know their own wire footprint (payload
+        # plus header), which differs from the python object's size.
+        return int(wire)
     if isinstance(obj, np.ndarray):
         return obj.nbytes
     if isinstance(obj, (bytes, bytearray)):
@@ -89,10 +100,25 @@ class Communicator:
     size: int
 
     # -- point to point ---------------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+    def send(
+        self, obj: Any, dest: int, tag: int = 0, charge: bool = True
+    ) -> None:
+        """Send ``obj`` to ``dest``.
+
+        ``charge=False`` marks control-plane traffic (transport ACKs,
+        drain handshakes): the message still travels but costs no
+        simulated time, modeling the asynchronous progress engine a
+        real transport runs beside the application.
+        """
         raise NotImplementedError
 
-    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        timeout: float | None = None,
+        charge: bool = True,
+    ) -> Any:
         raise NotImplementedError
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
@@ -195,10 +221,10 @@ class SelfCommunicator(Communicator):
     def __init__(self, cost: CommCostModel | None = None):
         self.cost = cost if cost is not None else CommCostModel()
 
-    def send(self, obj, dest, tag=0):
+    def send(self, obj, dest, tag=0, charge=True):
         raise MPIError("cannot send on a size-1 communicator")
 
-    def recv(self, source, tag=0, timeout=None):
+    def recv(self, source, tag=0, timeout=None, charge=True):
         raise MPIError("cannot recv on a size-1 communicator")
 
     def barrier(self):
@@ -306,24 +332,54 @@ class ThreadCommunicator(Communicator):
         if peer == self.rank:
             raise MPIError("self-messaging is not supported; use local data")
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+    def send(
+        self, obj: Any, dest: int, tag: int = 0, charge: bool = True
+    ) -> None:
         self._check_peer(dest)
-        current_clock().advance(self.cost.message(_payload_bytes(obj)))
+        if charge:
+            current_clock().advance(self.cost.message(_payload_bytes(obj)))
         self._world.box(dest, self.rank, tag).put((obj, current_clock().now))
 
-    def recv(self, source: int, tag: int = 0, timeout: float | None = None) -> Any:
+    def recv(
+        self,
+        source: int,
+        tag: int = 0,
+        timeout: float | None = None,
+        charge: bool = True,
+    ) -> Any:
         self._check_peer(source)
         q = self._world.box(self.rank, source, tag)
         try:
-            obj, sent_at = q.get(timeout=timeout if timeout is not None else 60.0)
+            obj, sent_at = q.get(
+                timeout=timeout if timeout is not None else DEFAULT_RECV_TIMEOUT
+            )
         except queue.Empty:
-            raise TimeoutError(
-                f"rank {self.rank}: no message from {source} (tag {tag})"
+            if timeout is not None:
+                # The caller opted into polling; TimeoutError is the
+                # contract it loops on.
+                raise TimeoutError(
+                    f"rank {self.rank}: no message from {source} (tag {tag})"
+                ) from None
+            # Blocking recv hit the wall-clock fallback: a peer died or
+            # the exchange pattern deadlocked.  Structured, like every
+            # other substrate failure (PR-1 convention).
+            raise MPIError(
+                f"rank {self.rank}: blocking recv from {source} (tag {tag}) "
+                f"gave up after the {DEFAULT_RECV_TIMEOUT:.0f}s wall-clock "
+                "fallback",
+                details={
+                    "rank": self.rank,
+                    "source": source,
+                    "tag": tag,
+                    "timeout": DEFAULT_RECV_TIMEOUT,
+                },
             ) from None
         clk = current_clock()
-        # The message cannot be received before it was sent (simulated time).
-        clk.wait_for(sent_at)
-        clk.advance(self.cost.message(_payload_bytes(obj)))
+        if charge:
+            # The message cannot be received before it was sent
+            # (simulated time).
+            clk.wait_for(sent_at)
+            clk.advance(self.cost.message(_payload_bytes(obj)))
         return obj
 
     # -- collectives -----------------------------------------------------------------

@@ -25,7 +25,7 @@ from repro.sensei.backends.histogram import HistogramAnalysis
 from repro.sensei.backends.writer import PosthocIO
 from repro.sensei.data_adaptor import DataAdaptor
 from repro.sensei.placement import DevicePlacement, PlacementMode
-from repro.sensei.xml_config import AnalysisConfig, parse_file, parse_xml
+from repro.sensei.xml_config import AnalysisConfig, parse_document
 
 __all__ = ["ConfigurableAnalysis", "register_backend"]
 
@@ -157,9 +157,17 @@ class ConfigurableAnalysis(AnalysisAdaptor):
         super().__init__("configurable")
         if (xml is None) == (path is None):
             raise ConfigError("provide exactly one of xml= or path=")
-        configs = parse_xml(xml) if xml is not None else parse_file(path)
+        if xml is None:
+            try:
+                xml = Path(path).read_text(encoding="utf-8")
+            except OSError as exc:
+                raise ConfigError(f"cannot read config {path}: {exc}") from exc
+        document = parse_document(xml)
+        #: Parsed ``<transport>`` element, or None — an in transit
+        #: driver reads this to configure the data plane.
+        self.transport = document.transport
         self.children: list[AnalysisAdaptor] = []
-        for cfg in configs:
+        for cfg in document.analyses:
             if not cfg.enabled:
                 continue
             factory = _REGISTRY.get(cfg.type)

@@ -10,8 +10,9 @@ substrate, complementing the on-node placements:
 - ``M`` simulation ranks produce data; ``N`` endpoint ranks consume it
   (``N < M`` typically — the whole point is concentrating analysis on
   fewer resources);
-- an :class:`InTransitLayout` fixes the M-to-N redistribution (block
-  mapping: producer ``r`` sends to endpoint ``r * N // M``);
+- an :class:`InTransitLayout` fixes the M-to-N redistribution through a
+  pluggable partitioner (``block`` — the default, ``cyclic``, or
+  ``weighted``; see :mod:`repro.transport.partition`);
 - the simulation side instruments exactly like the in situ case —
   :class:`InTransitBridge` has the ``initialize`` / ``execute`` /
   ``finalize`` surface of :class:`repro.sensei.bridge.Bridge`, so a
@@ -20,26 +21,34 @@ substrate, complementing the on-node placements:
 - each endpoint assembles its producers' tables and runs ordinary
   analysis back-ends against the endpoints' own sub-communicator, so
   reductions span the full dataset.
+
+Data moves over :mod:`repro.transport`: a versioned, checksummed,
+chunked wire format with pluggable compression, reliable delivery
+(ACKs, dedup, retry with backoff), bounded in-flight credit windows,
+and a graceful ``fin``/``fin_ack`` drain instead of a bare shutdown
+tag.  Fault injection (drops, duplicates, reordering, corruption) is a
+:class:`~repro.transport.config.TransportConfig` knob, so delivery
+robustness is testable without touching this module.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import ExecutionError, MPIError
 from repro.hamr.runtime import current_clock
-from repro.mpi.comm import Communicator, run_spmd
+from repro.mpi.comm import CommCostModel, Communicator, run_spmd
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.data_adaptor import DataAdaptor, TableDataAdaptor
 from repro.svtk.table import TableData
+from repro.transport.channel import ReliableReceiver, ReliableSender
+from repro.transport.config import TransportConfig
+from repro.transport.partition import get_partitioner
 
 __all__ = ["InTransitLayout", "InTransitBridge", "EndpointRunner", "run_in_transit"]
-
-#: Message tag space: step payloads use the step number; shutdown uses -1.
-_SHUTDOWN_TAG = 1
 
 
 @dataclass(frozen=True)
@@ -47,11 +56,20 @@ class InTransitLayout:
     """The M-to-N redistribution map inside one world of ``m + n`` ranks.
 
     World ranks ``[0, m)`` are producers (simulation); ``[m, m + n)``
-    are endpoints (analysis).
+    are endpoints (analysis).  ``partitioner`` selects the mapping
+    (``block``, ``cyclic``, ``weighted``); ``weights`` feeds the
+    weighted partitioner one expected payload size per producer.
     """
 
     m: int
     n: int
+    partitioner: str = "block"
+    weights: tuple[float, ...] | None = None
+
+    #: Cached producer -> endpoint-index assignment.
+    _assignment: tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self):
         if self.m < 1 or self.n < 1:
@@ -61,6 +79,13 @@ class InTransitLayout:
                 f"more endpoints ({self.n}) than producers ({self.m}) "
                 "defeats the purpose of in transit analysis"
             )
+        try:
+            assignment = get_partitioner(self.partitioner).assign(
+                self.m, self.n, self.weights
+            )
+        except MPIError as exc:
+            raise ExecutionError(str(exc), details=exc.details) from exc
+        object.__setattr__(self, "_assignment", tuple(assignment))
 
     @property
     def world_size(self) -> int:
@@ -76,7 +101,7 @@ class InTransitLayout:
         """World rank of the endpoint serving ``producer``."""
         if not self.is_producer(producer):
             raise ExecutionError(f"rank {producer} is not a producer")
-        return self.m + producer * self.n // self.m
+        return self.m + self._assignment[producer]
 
     def producers_of(self, endpoint: int) -> list[int]:
         """World ranks of the producers an endpoint serves."""
@@ -85,28 +110,28 @@ class InTransitLayout:
         return [p for p in range(self.m) if self.endpoint_of(p) == endpoint]
 
 
-def _serialize_table(table: TableData) -> dict[str, np.ndarray]:
-    """Host-staged column payload (data movement charged by the comm)."""
-    out = {}
-    for name in table.column_names:
-        out[name] = np.ascontiguousarray(table.column(name).as_numpy_host())
-    return out
-
-
 class InTransitBridge:
     """The simulation-side instrumentation for in transit analysis.
 
     Drop-in for :class:`repro.sensei.bridge.Bridge`: ``initialize``,
     ``execute(data_adaptor)``, ``finalize``.  Each ``execute`` ships the
-    published mesh to this producer's endpoint; ``finalize`` sends the
-    shutdown marker.
+    published mesh to this producer's endpoint through a
+    :class:`~repro.transport.channel.ReliableSender`; ``finalize``
+    drains the connection gracefully.
     """
 
-    def __init__(self, layout: InTransitLayout, mesh_name: str = "bodies"):
+    def __init__(
+        self,
+        layout: InTransitLayout,
+        mesh_name: str = "bodies",
+        transport: TransportConfig | None = None,
+    ):
         self.layout = layout
         self.mesh_name = str(mesh_name)
+        self.transport = transport if transport is not None else TransportConfig()
         self._world: Communicator | None = None
         self._endpoint: int | None = None
+        self._sender: ReliableSender | None = None
         self._initialized = False
         self._finalized = False
         self.step_costs: list[float] = []
@@ -120,6 +145,9 @@ class InTransitBridge:
             )
         self._world = world_comm
         self._endpoint = self.layout.endpoint_of(world_comm.rank)
+        self._sender = ReliableSender(
+            world_comm, self._endpoint, self.transport
+        )
         self._initialized = True
 
     def execute(self, data: DataAdaptor) -> bool:
@@ -135,8 +163,7 @@ class InTransitBridge:
                 f"in transit transport ships tables; {self.mesh_name!r} is "
                 f"{type(table).__name__}"
             )
-        payload = (data.time_step, data.time, _serialize_table(table))
-        self._world.send(payload, dest=self._endpoint, tag=0)
+        self._sender.send_step(data.time_step, data.time, table)
         self.step_costs.append(clock.now - t0)
         return True
 
@@ -144,8 +171,13 @@ class InTransitBridge:
         if self._finalized or not self._initialized:
             self._finalized = True
             return
-        self._world.send(None, dest=self._endpoint, tag=_SHUTDOWN_TAG)
+        self._sender.close()
         self._finalized = True
+
+    @property
+    def metrics(self):
+        """Transport counters for this producer (None before init)."""
+        return self._sender.metrics if self._sender is not None else None
 
     @property
     def total_apparent_time(self) -> float:
@@ -156,9 +188,9 @@ class InTransitBridge:
 class EndpointRunner:
     """One analysis endpoint: receives, assembles, analyzes.
 
-    ``serve`` loops until every producer has sent its shutdown marker.
-    Steps are processed in order; each step's tables from all producers
-    are concatenated into one local table, and the analyses run against
+    ``serve`` loops until every producer has drained.  Steps are
+    processed in order; each step's tables from all producers are
+    concatenated into one local table, and the analyses run against
     the endpoints' sub-communicator so reductions are global.
     """
 
@@ -169,6 +201,7 @@ class EndpointRunner:
         endpoint_comm: Communicator,
         analyses: Sequence[AnalysisAdaptor],
         mesh_name: str = "bodies",
+        transport: TransportConfig | None = None,
     ):
         if not layout.is_endpoint(world_comm.rank):
             raise ExecutionError(
@@ -179,8 +212,18 @@ class EndpointRunner:
         self.endpoint_comm = endpoint_comm
         self.analyses = list(analyses)
         self.mesh_name = str(mesh_name)
+        self.transport = transport if transport is not None else TransportConfig()
         self.producers = layout.producers_of(world_comm.rank)
+        self.receivers = {
+            p: ReliableReceiver(world_comm, p, self.transport)
+            for p in self.producers
+        }
         self.steps_processed = 0
+
+    @property
+    def receiver_metrics(self) -> dict[int, object]:
+        """Per-producer transport counters."""
+        return {p: r.metrics for p, r in self.receivers.items()}
 
     def _assemble(self, payloads: list[dict[str, np.ndarray]]) -> TableData:
         table = TableData(self.mesh_name)
@@ -197,7 +240,7 @@ class EndpointRunner:
         return table
 
     def serve(self) -> int:
-        """Process steps until shutdown; returns the step count."""
+        """Process steps until every producer drains; returns the count."""
         for a in self.analyses:
             a.initialize(self.endpoint_comm)
         live = set(self.producers)
@@ -206,7 +249,7 @@ class EndpointRunner:
             step_payloads: list[dict[str, np.ndarray]] = []
             step_id, step_time = None, 0.0
             for p in sorted(live):
-                msg = self._recv_step_or_shutdown(p)
+                msg = self.receivers[p].receive_step()
                 if msg is None:
                     live.discard(p)
                     continue
@@ -230,36 +273,15 @@ class EndpointRunner:
             a.finalize()
         return self.steps_processed
 
-    def _recv_step_or_shutdown(self, producer: int):
-        """The next message from ``producer``: a step payload or None.
-
-        Step messages (tag 0) and the final shutdown marker (tag 1)
-        travel in separate mailboxes, so pending steps must be drained
-        before the shutdown is honored: a producer sends every step
-        *before* its shutdown, hence once the shutdown is visible, any
-        step it sent is already queued.
-        """
-        while True:
-            try:
-                return self.world.recv(source=producer, tag=0, timeout=0.05)
-            except TimeoutError:
-                pass
-            done, _ = self.world.irecv(source=producer, tag=_SHUTDOWN_TAG).test()
-            if done:
-                # All step sends happened before the shutdown send; one
-                # final nonblocking drain closes the race window.
-                try:
-                    return self.world.recv(source=producer, tag=0, timeout=0.001)
-                except TimeoutError:
-                    return None
-
 
 def run_in_transit(
     layout: InTransitLayout,
     producer_main: Callable[[Communicator, InTransitBridge], object],
     analyses_factory: Callable[[], Sequence[AnalysisAdaptor]],
     mesh_name: str = "bodies",
-) -> tuple[list[object], list[object]]:
+    transport: TransportConfig | None = None,
+    cost: CommCostModel | None = None,
+) -> tuple[list[object], list[EndpointRunner]]:
     """Launch an M-producer / N-endpoint in transit run.
 
     ``producer_main(sim_comm, bridge)`` runs on each producer with a
@@ -267,6 +289,8 @@ def run_in_transit(
     :class:`InTransitBridge` (call ``bridge.execute`` per step;
     ``finalize`` is invoked automatically afterwards).
     ``analyses_factory()`` builds each endpoint's analysis set.
+    ``transport`` configures the wire (codec, chunking, retries, fault
+    injection); ``cost`` overrides the interconnect cost model.
 
     Returns ``(producer_results, endpoint_runners)``.
     """
@@ -274,21 +298,22 @@ def run_in_transit(
     def world_main(comm: Communicator):
         if layout.is_producer(comm.rank):
             sim_comm = comm.split(color=0, key=comm.rank)
-            bridge = InTransitBridge(layout, mesh_name)
+            bridge = InTransitBridge(layout, mesh_name, transport)
             bridge.initialize(comm)
             try:
                 result = producer_main(sim_comm, bridge)
             finally:
                 bridge.finalize()
-            return ("producer", result)
+            return ("producer", result, bridge)
         endpoint_comm = comm.split(color=1, key=comm.rank)
         runner = EndpointRunner(
-            layout, comm, endpoint_comm, analyses_factory(), mesh_name
+            layout, comm, endpoint_comm, analyses_factory(), mesh_name,
+            transport,
         )
         runner.serve()
-        return ("endpoint", runner)
+        return ("endpoint", runner, None)
 
-    out = run_spmd(layout.world_size, world_main)
-    producers = [r for kind, r in out if kind == "producer"]
-    endpoints = [r for kind, r in out if kind == "endpoint"]
+    out = run_spmd(layout.world_size, world_main, cost=cost)
+    producers = [r for kind, r, _b in out if kind == "producer"]
+    endpoints = [r for kind, r, _b in out if kind == "endpoint"]
     return producers, endpoints

@@ -6,6 +6,8 @@ the paper's evaluation drives all 9 binning operator instances this way
 attributes.  The schema::
 
     <sensei>
+      <transport compression="zlib" chunk_kib="64" max_inflight="8"
+                 retries="8" partitioner="block"/>
       <analysis type="data_binning" enabled="1" mesh="bodies"
                 axes="x,y" bins="256,256"
                 variables="mass:sum,vx:average"
@@ -15,6 +17,10 @@ attributes.  The schema::
       <analysis type="posthoc_io" mesh="bodies" output_dir="./out"
                 frequency="10" format="csv"/>
     </sensei>
+
+At most one ``<transport>`` element configures the in transit data
+plane (see :class:`repro.transport.config.TransportConfig`); it is
+ignored by purely in situ runs.
 
 Common attributes (every ``<analysis>``):
 
@@ -33,10 +39,20 @@ from __future__ import annotations
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
 
-__all__ = ["AnalysisConfig", "parse_xml", "parse_file"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.config import TransportConfig
+
+__all__ = [
+    "AnalysisConfig",
+    "SenseiConfig",
+    "parse_document",
+    "parse_xml",
+    "parse_file",
+]
 
 
 @dataclass(frozen=True)
@@ -89,8 +105,20 @@ class AnalysisConfig:
         return [item.strip() for item in raw.split(",") if item.strip()]
 
 
-def parse_xml(text: str) -> list[AnalysisConfig]:
-    """Parse a SENSEI XML document into analysis configs."""
+@dataclass(frozen=True)
+class SenseiConfig:
+    """A fully parsed ``<sensei>`` document.
+
+    ``transport`` is None when the document has no ``<transport>``
+    element — in situ configurations never need one.
+    """
+
+    analyses: tuple[AnalysisConfig, ...] = ()
+    transport: "TransportConfig | None" = None
+
+
+def parse_document(text: str) -> SenseiConfig:
+    """Parse a SENSEI XML document: analyses plus optional transport."""
     try:
         root = ET.fromstring(text)
     except ET.ParseError as exc:
@@ -98,10 +126,19 @@ def parse_xml(text: str) -> list[AnalysisConfig]:
     if root.tag != "sensei":
         raise ConfigError(f"root element must be <sensei>, got <{root.tag}>")
     configs: list[AnalysisConfig] = []
+    transport = None
     for child in root:
+        if child.tag == "transport":
+            if transport is not None:
+                raise ConfigError("at most one <transport> element is allowed")
+            from repro.transport.config import TransportConfig
+
+            transport = TransportConfig.from_xml_attrs(child.attrib)
+            continue
         if child.tag != "analysis":
             raise ConfigError(
-                f"unexpected element <{child.tag}>; only <analysis> is allowed"
+                f"unexpected element <{child.tag}>; only <analysis> and "
+                "<transport> are allowed"
             )
         attrs = dict(child.attrib)
         atype = attrs.pop("type", None)
@@ -115,7 +152,12 @@ def parse_xml(text: str) -> list[AnalysisConfig]:
         else:
             raise ConfigError(f"invalid enabled value {enabled_raw!r}")
         configs.append(AnalysisConfig(type=atype, enabled=enabled, attrs=attrs))
-    return configs
+    return SenseiConfig(analyses=tuple(configs), transport=transport)
+
+
+def parse_xml(text: str) -> list[AnalysisConfig]:
+    """Parse a SENSEI XML document into analysis configs."""
+    return list(parse_document(text).analyses)
 
 
 def parse_file(path: str | Path) -> list[AnalysisConfig]:

@@ -1,0 +1,72 @@
+"""``repro.transport`` — the pluggable data-transport plane.
+
+In transit analysis lives or dies by how data moves off node.  This
+package is the transport plane under :mod:`repro.sensei.intransit`:
+
+- :mod:`repro.transport.wire` — a versioned wire format: column
+  payloads chunked with per-chunk CRC32 checksums and pluggable
+  compression codecs whose CPU cost is charged to the simulated clock;
+- :mod:`repro.transport.channel` — the delivery layer: an injectable
+  lossy/duplicating/reordering/corrupting channel for fault testing,
+  plus the reliable sender/receiver pair (ACKs, dedup, drain);
+- :mod:`repro.transport.retry` — sender-side retry with exponential
+  backoff and jitter;
+- :mod:`repro.transport.flow` — bounded in-flight credit window so
+  producers backpressure instead of queueing unboundedly;
+- :mod:`repro.transport.partition` — M-to-N partitioners (``block``,
+  ``cyclic``, ``weighted``);
+- :mod:`repro.transport.metrics` — per-endpoint transport counters
+  recorded as :class:`~repro.hw.clock.TimedEvent`\\ s for the
+  Chrome-trace export;
+- :mod:`repro.transport.config` — :class:`TransportConfig`, the
+  ``<transport .../>`` element of the SENSEI XML schema.
+"""
+
+from __future__ import annotations
+
+from repro.transport.channel import (
+    Channel,
+    FaultSpec,
+    FaultyChannel,
+    ReliableReceiver,
+    ReliableSender,
+)
+from repro.transport.config import TransportConfig
+from repro.transport.flow import CreditWindow
+from repro.transport.metrics import (
+    TransportMetrics,
+    reset_transport_timelines,
+    transport_timelines,
+)
+from repro.transport.partition import available_partitioners, get_partitioner
+from repro.transport.retry import RetryPolicy
+from repro.transport.wire import (
+    Chunk,
+    StepAssembler,
+    available_codecs,
+    decode_step,
+    encode_step,
+    get_codec,
+)
+
+__all__ = [
+    "Channel",
+    "Chunk",
+    "CreditWindow",
+    "FaultSpec",
+    "FaultyChannel",
+    "ReliableReceiver",
+    "ReliableSender",
+    "RetryPolicy",
+    "StepAssembler",
+    "TransportConfig",
+    "TransportMetrics",
+    "available_codecs",
+    "available_partitioners",
+    "decode_step",
+    "encode_step",
+    "get_codec",
+    "get_partitioner",
+    "reset_transport_timelines",
+    "transport_timelines",
+]

@@ -1,0 +1,440 @@
+"""The delivery layer: channels, fault injection, reliable endpoints.
+
+A :class:`Channel` is the thin seam between the transport plane and a
+:class:`~repro.mpi.comm.Communicator`; :class:`FaultyChannel` makes
+that seam injectable, perturbing the *data* direction with drops,
+duplicates, reordering, and payload corruption so delivery robustness
+can be rehearsed deterministically (seeded).
+
+On top of the channel sit the two reliable endpoints:
+
+- :class:`ReliableSender` — transmits chunks under a bounded credit
+  window (:mod:`repro.transport.flow`), collects per-chunk ACKs, and
+  retransmits expired chunks with exponential backoff
+  (:mod:`repro.transport.retry`).  Backoff is charged to the sender's
+  simulated clock, so fault recovery is visible on the timeline and a
+  clean run costs exactly serialization plus wire time.
+- :class:`ReliableReceiver` — verifies checksums (a corrupt chunk is
+  silently dropped: the missing ACK triggers retransmission), dedups
+  by (step, chunk) sequence number, ACKs idempotently, and honors the
+  graceful drain protocol: the producer's ``fin`` frame is answered
+  with ``fin_ack`` only once everything before it was delivered.
+
+ACK and ``fin`` traffic is control plane: it moves through the
+communicator's mailboxes but is *not* charged to the simulated clock
+(``charge=False``), modeling the asynchronous progress engine a real
+transport runs beside the application.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import TransportError
+from repro.hamr.runtime import current_clock
+from repro.hw.clock import EventCategory, Timeline
+from repro.transport.flow import CreditWindow
+from repro.transport.metrics import TransportMetrics, new_transport_timeline
+from repro.transport.wire import Chunk, StepAssembler, encode_step, get_codec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.comm import Communicator
+    from repro.svtk.table import TableData
+    from repro.transport.config import TransportConfig
+
+__all__ = [
+    "DATA_TAG",
+    "ACK_TAG",
+    "FaultSpec",
+    "Channel",
+    "FaultyChannel",
+    "ReliableSender",
+    "ReliableReceiver",
+]
+
+#: Tag space reserved by the transport plane.
+DATA_TAG = 100
+ACK_TAG = 101
+
+#: Wall-clock seconds between receiver mailbox polls.
+_POLL = 0.02
+
+#: Simulated wire bytes of a control frame (fin / ack).
+_CONTROL_NBYTES = 16
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Injected channel faults (independent probabilities per frame)."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate", "reorder", "corrupt"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise TransportError(
+                    f"fault probability {name}={v} outside [0, 1]"
+                )
+
+    @property
+    def any(self) -> bool:
+        return bool(self.drop or self.duplicate or self.reorder or self.corrupt)
+
+
+def _frame_nbytes(frame: tuple) -> int:
+    """Simulated wire size of one data-direction frame."""
+    if frame[0] == "chunk":
+        return frame[1].wire_nbytes
+    return _CONTROL_NBYTES
+
+
+class Channel:
+    """Direct, reliable, in-order delivery over a communicator."""
+
+    def __init__(self, comm: "Communicator"):
+        self.comm = comm
+
+    def send(self, frame: tuple, dest: int, tag: int) -> None:
+        self.comm.send(frame, dest, tag)
+
+    def flush(self, dest: int, tag: int) -> None:
+        """Release any frames the channel is holding back (no-op)."""
+
+
+class FaultyChannel(Channel):
+    """A channel that loses, duplicates, reorders, and corrupts frames.
+
+    Faults are applied on the send side, deterministically from
+    ``faults.seed`` and the sender's rank.  A dropped frame still
+    charges its wire cost to the sender's clock (the bytes left the
+    NIC; delivery is what failed).  Reordering holds one frame back
+    and releases it after the next send (or on :meth:`flush`), the
+    minimal perturbation that breaks in-order assumptions.
+    """
+
+    def __init__(self, comm: "Communicator", faults: FaultSpec):
+        super().__init__(comm)
+        self.faults = faults
+        self._rng = random.Random(f"{faults.seed}:{getattr(comm, 'rank', 0)}")
+        self._stash: tuple | None = None  # (frame, dest, tag)
+        self.injected = {"drop": 0, "duplicate": 0, "reorder": 0, "corrupt": 0}
+
+    def send(self, frame: tuple, dest: int, tag: int) -> None:
+        f = self.faults
+        if (
+            frame[0] == "chunk"
+            and f.corrupt
+            and self._rng.random() < f.corrupt
+        ):
+            frame = ("chunk", frame[1].corrupted())
+            self.injected["corrupt"] += 1
+        if f.drop and self._rng.random() < f.drop:
+            self.injected["drop"] += 1
+            cost = getattr(self.comm, "cost", None)
+            if cost is not None:
+                current_clock().advance(cost.message(_frame_nbytes(frame)))
+            self._release(dest, tag)
+            return
+        if f.reorder and self._stash is None and self._rng.random() < f.reorder:
+            self.injected["reorder"] += 1
+            self._stash = (frame, dest, tag)
+            return
+        self.comm.send(frame, dest, tag)
+        if f.duplicate and self._rng.random() < f.duplicate:
+            self.injected["duplicate"] += 1
+            self.comm.send(frame, dest, tag)
+        self._release(dest, tag)
+
+    def _release(self, dest: int, tag: int) -> None:
+        if self._stash is not None:
+            stashed, sdest, stag = self._stash
+            self._stash = None
+            self.comm.send(stashed, sdest, stag)
+
+    def flush(self, dest: int, tag: int) -> None:
+        self._release(dest, tag)
+
+
+class _InFlight:
+    """Book-keeping for one transmitted-but-unACKed chunk."""
+
+    __slots__ = ("chunk", "attempts", "deadline")
+
+    def __init__(self, chunk: Chunk, deadline: float):
+        self.chunk = chunk
+        self.attempts = 1
+        self.deadline = deadline
+
+
+class ReliableSender:
+    """Producer-side reliable delivery of step payloads to one endpoint."""
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        dest: int,
+        config: "TransportConfig | None" = None,
+        metrics: TransportMetrics | None = None,
+        timeline: Timeline | None = None,
+    ):
+        if config is None:
+            from repro.transport.config import TransportConfig
+
+            config = TransportConfig()
+        self.comm = comm
+        self.dest = int(dest)
+        self.config = config
+        self.codec = get_codec(config.compression)
+        self.policy = config.retry
+        self.window = CreditWindow(config.max_inflight)
+        self.channel: Channel = (
+            FaultyChannel(comm, config.faults)
+            if config.faults.any
+            else Channel(comm)
+        )
+        self._rng = random.Random(f"{config.faults.seed}:{comm.rank}:backoff")
+        peer = f"rank{comm.rank}->rank{dest}"
+        self.metrics = metrics if metrics is not None else TransportMetrics(
+            role="sender", peer=peer
+        )
+        self.timeline = timeline if timeline is not None else (
+            new_transport_timeline(f"transport.{peer}")
+        )
+        self.steps_sent = 0
+        self._closed = False
+
+    # -- data path -------------------------------------------------------------
+    def send_step(self, step: int, sim_time: float, table: "TableData") -> None:
+        """Deliver one step's table reliably; blocks until fully ACKed."""
+        if self._closed:
+            raise TransportError("sender already drained", details=self._ids())
+        clock = current_clock()
+        t0 = clock.now
+        chunks = encode_step(
+            table, step, sim_time, self.codec, self.config.chunk_bytes
+        )
+        self.timeline.record(
+            t0, clock.now, name=f"encode step {step}",
+            category=EventCategory.COMPUTE,
+        )
+        self.metrics.steps += 1
+        self.metrics.raw_bytes += chunks[0].raw_nbytes
+        self.metrics.wire_bytes += sum(c.wire_nbytes for c in chunks)
+
+        pending = deque(chunks)
+        inflight: dict[int, _InFlight] = {}
+        while pending or inflight:
+            while pending and self.window.try_acquire():
+                c = pending.popleft()
+                self._transmit(c)
+                inflight[c.index] = _InFlight(
+                    c, time.monotonic() + self.policy.ack_timeout
+                )
+            self.channel.flush(self.dest, DATA_TAG)
+            self._service_acks(step, inflight)
+            self._retransmit_expired(step, inflight)
+        self.metrics.max_queue_depth = max(
+            self.metrics.max_queue_depth, self.window.max_depth
+        )
+        self.steps_sent += 1
+
+    def _transmit(self, chunk: Chunk) -> None:
+        clock = current_clock()
+        t0 = clock.now
+        self.channel.send(("chunk", chunk), self.dest, DATA_TAG)
+        self.timeline.record(
+            t0, clock.now,
+            name=f"send s{chunk.step}c{chunk.index}",
+            category=EventCategory.COMM,
+        )
+        self.metrics.chunks_sent += 1
+        self.metrics.bytes_out += chunk.wire_nbytes
+
+    def _service_acks(self, step: int, inflight: dict[int, _InFlight]) -> None:
+        """Drain the control plane until an ACK lands or a deadline nears."""
+        while inflight:
+            wait = max(
+                0.001,
+                min(f.deadline for f in inflight.values()) - time.monotonic(),
+            )
+            try:
+                frame = self.comm.recv(
+                    self.dest, ACK_TAG, timeout=min(wait, _POLL), charge=False
+                )
+            except TimeoutError:
+                return
+            if frame[0] != "ack" or frame[1] != step:
+                continue  # stale control traffic from an earlier step
+            progressed = False
+            for idx in frame[2]:
+                state = inflight.pop(idx, None)
+                if state is None:
+                    continue  # duplicate ACK
+                self.window.release()
+                self.metrics.acks_received += 1
+                if state.attempts > 1:
+                    self.metrics.drops_recovered += 1
+                progressed = True
+            if progressed:
+                return
+
+    def _retransmit_expired(self, step: int, inflight: dict[int, _InFlight]) -> None:
+        now = time.monotonic()
+        expired = [f for f in inflight.values() if f.deadline <= now]
+        if not expired:
+            return
+        exhausted = [f for f in expired if f.attempts > self.policy.max_retries]
+        if exhausted:
+            c = exhausted[0].chunk
+            raise TransportError(
+                f"chunk {c.seq} to rank {self.dest} unacknowledged after "
+                f"{self.policy.max_retries} retries",
+                details={
+                    **self._ids(), "step": c.step, "chunk": c.index,
+                    "retries": self.policy.max_retries,
+                },
+            )
+        # One backoff per sweep: the sender pauses, then retransmits
+        # everything overdue — charged to the simulated clock so fault
+        # recovery shows up in the trace (and never on a clean run).
+        clock = current_clock()
+        delay = self.policy.backoff(
+            min(f.attempts for f in expired), self._rng
+        )
+        t0 = clock.now
+        clock.advance(delay)
+        self.timeline.record(
+            t0, clock.now, name=f"backoff step {step}",
+            category=EventCategory.SYNC,
+        )
+        self.metrics.backoff_time += delay
+        for f in expired:
+            self.metrics.retries += 1
+            f.attempts += 1
+            f.deadline = time.monotonic() + self.policy.ack_timeout
+            self._transmit(f.chunk)
+        self.channel.flush(self.dest, DATA_TAG)
+
+    # -- drain ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful drain: ``fin`` / ``fin_ack`` handshake with retries."""
+        if self._closed:
+            return
+        attempts = 0
+        while True:
+            attempts += 1
+            self.channel.send(("fin", self.steps_sent), self.dest, DATA_TAG)
+            self.channel.flush(self.dest, DATA_TAG)
+            deadline = time.monotonic() + self.policy.ack_timeout
+            while time.monotonic() < deadline:
+                try:
+                    frame = self.comm.recv(
+                        self.dest, ACK_TAG, timeout=_POLL, charge=False
+                    )
+                except TimeoutError:
+                    continue
+                if frame[0] == "fin_ack":
+                    self._closed = True
+                    return
+            if attempts > self.policy.max_retries:
+                raise TransportError(
+                    f"drain to rank {self.dest} never acknowledged "
+                    f"({attempts} attempts)",
+                    details={**self._ids(), "attempts": attempts},
+                )
+
+    def _ids(self) -> dict:
+        return {"rank": self.comm.rank, "dest": self.dest}
+
+
+class ReliableReceiver:
+    """Endpoint-side reliable reception from one producer."""
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        source: int,
+        config: "TransportConfig | None" = None,
+        metrics: TransportMetrics | None = None,
+        timeline: Timeline | None = None,
+    ):
+        if config is None:
+            from repro.transport.config import TransportConfig
+
+            config = TransportConfig()
+        self.comm = comm
+        self.source = int(source)
+        self.config = config
+        self.assembler = StepAssembler()
+        peer = f"rank{source}->rank{comm.rank}"
+        self.metrics = metrics if metrics is not None else TransportMetrics(
+            role="receiver", peer=peer
+        )
+        self.timeline = timeline if timeline is not None else (
+            new_transport_timeline(f"transport.{peer}.recv")
+        )
+        self.finished = False
+        self.steps_delivered = 0
+
+    def receive_step(self):
+        """The next complete ``(step, time, columns)``, or None after fin."""
+        if self.finished:
+            return None
+        deadline = time.monotonic() + self.config.recv_timeout
+        while True:
+            try:
+                frame = self.comm.recv(self.source, DATA_TAG, timeout=_POLL)
+            except TimeoutError:
+                if time.monotonic() > deadline:
+                    raise TransportError(
+                        f"no traffic from producer {self.source} within "
+                        f"{self.config.recv_timeout}s",
+                        details={
+                            "rank": self.comm.rank,
+                            "source": self.source,
+                            "timeout": self.config.recv_timeout,
+                        },
+                    ) from None
+                continue
+            if frame[0] == "fin":
+                self._ack(("fin_ack",))
+                self.finished = True
+                return None
+            chunk: Chunk = frame[1]
+            if not chunk.verify():
+                # Withhold the ACK; the retransmission carries clean bytes.
+                self.metrics.checksum_failures += 1
+                continue
+            self.metrics.chunks_received += 1
+            self.metrics.bytes_in += chunk.wire_nbytes
+            status = self.assembler.offer(chunk)
+            self._ack(("ack", chunk.step, (chunk.index,)))
+            if status == "duplicate":
+                self.metrics.duplicates_dropped += 1
+                continue
+            self.metrics.wire_bytes += chunk.wire_nbytes  # unique chunks only
+            if status == "complete":
+                clock = current_clock()
+                t0 = clock.now
+                step, sim_time, columns = self.assembler.take(chunk.step)
+                self.timeline.record(
+                    t0, clock.now, name=f"decode step {step}",
+                    category=EventCategory.COMPUTE,
+                )
+                self.metrics.steps += 1
+                self.metrics.raw_bytes += chunk.raw_nbytes
+                self.steps_delivered += 1
+                return step, sim_time, columns
+
+    def _ack(self, frame: tuple) -> None:
+        self.comm.send(frame, self.source, ACK_TAG, charge=False)
+        self.metrics.acks_sent += 1

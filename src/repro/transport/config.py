@@ -1,0 +1,117 @@
+"""Transport configuration — the ``<transport .../>`` XML element.
+
+Schema (all attributes optional; defaults shown)::
+
+    <sensei>
+      <transport compression="none" chunk_kib="64" max_inflight="8"
+                 retries="8" ack_timeout="0.05" partitioner="block"
+                 drop="0.0" duplicate="0.0" reorder="0.0"
+                 corrupt="0.0" seed="0"/>
+      <analysis .../>
+    </sensei>
+
+``drop``/``duplicate``/``reorder``/``corrupt`` are fault-injection
+probabilities applied to the data direction only — they exist so a
+configuration can rehearse lossy-fabric behaviour without code
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.errors import ConfigError
+from repro.transport.channel import FaultSpec
+from repro.transport.partition import available_partitioners
+from repro.transport.retry import RetryPolicy
+from repro.transport.wire import DEFAULT_CHUNK_BYTES, available_codecs
+from repro.units import KiB
+
+__all__ = ["TransportConfig"]
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Everything the transport plane needs for one run."""
+
+    compression: str = "none"
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    max_inflight: int = 8
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    partitioner: str = "block"
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    recv_timeout: float = 60.0  # wall-clock patience of a receiver
+
+    def __post_init__(self):
+        if self.compression not in available_codecs():
+            raise ConfigError(
+                f"unknown codec {self.compression!r}; available: "
+                f"{', '.join(available_codecs())}"
+            )
+        if self.partitioner not in available_partitioners():
+            raise ConfigError(
+                f"unknown partitioner {self.partitioner!r}; available: "
+                f"{', '.join(available_partitioners())}"
+            )
+        if self.chunk_bytes < 1:
+            raise ConfigError(f"chunk_bytes must be >= 1: {self.chunk_bytes}")
+        if self.max_inflight < 1:
+            raise ConfigError(f"max_inflight must be >= 1: {self.max_inflight}")
+        if self.recv_timeout <= 0:
+            raise ConfigError(f"recv_timeout must be > 0: {self.recv_timeout}")
+
+    def with_faults(self, **kwargs) -> "TransportConfig":
+        """A copy with fault-injection fields overridden."""
+        return replace(self, faults=replace(self.faults, **kwargs))
+
+    @classmethod
+    def from_xml_attrs(cls, attrs: Mapping[str, str]) -> "TransportConfig":
+        """Build a config from a ``<transport>`` element's attributes."""
+        attrs = dict(attrs)
+
+        def _num(key: str, default, conv):
+            raw = attrs.pop(key, None)
+            if raw is None:
+                return default
+            try:
+                return conv(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"<transport>: attribute {key!r} must be a "
+                    f"{conv.__name__}, got {raw!r}"
+                ) from None
+
+        compression = attrs.pop("compression", "none")
+        chunk_kib = _num("chunk_kib", None, float)
+        chunk_bytes = (
+            int(chunk_kib * KiB) if chunk_kib is not None
+            else _num("chunk_bytes", DEFAULT_CHUNK_BYTES, int)
+        )
+        max_inflight = _num("max_inflight", 8, int)
+        retry = RetryPolicy(
+            max_retries=_num("retries", 8, int),
+            ack_timeout=_num("ack_timeout", 0.05, float),
+        )
+        faults = FaultSpec(
+            drop=_num("drop", 0.0, float),
+            duplicate=_num("duplicate", 0.0, float),
+            reorder=_num("reorder", 0.0, float),
+            corrupt=_num("corrupt", 0.0, float),
+            seed=_num("seed", 0, int),
+        )
+        partitioner = attrs.pop("partitioner", "block")
+        recv_timeout = _num("recv_timeout", 60.0, float)
+        if attrs:
+            raise ConfigError(
+                f"<transport>: unknown attribute(s) {sorted(attrs)}"
+            )
+        return cls(
+            compression=compression,
+            chunk_bytes=chunk_bytes,
+            max_inflight=max_inflight,
+            retry=retry,
+            partitioner=partitioner,
+            faults=faults,
+            recv_timeout=recv_timeout,
+        )

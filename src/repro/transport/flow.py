@@ -1,0 +1,55 @@
+"""Credit-based flow control: a bounded in-flight window.
+
+A sender must hold a credit for every un-ACKed chunk; when the window
+is exhausted it stops transmitting and services ACKs instead.  That is
+the backpressure that keeps a fast producer from queueing unboundedly
+ahead of a slow endpoint — the mailbox never holds more than
+``credits`` chunks per (producer, step).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransportError
+
+__all__ = ["CreditWindow"]
+
+
+class CreditWindow:
+    """A fixed pool of transmission credits with high-water tracking."""
+
+    def __init__(self, credits: int):
+        if credits < 1:
+            raise TransportError(f"need at least one credit: {credits}")
+        self.credits = int(credits)
+        self._in_flight = 0
+        self.max_depth = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def available(self) -> int:
+        return self.credits - self._in_flight
+
+    def try_acquire(self) -> bool:
+        """Take a credit if one is free; False means backpressure."""
+        if self._in_flight >= self.credits:
+            return False
+        self._in_flight += 1
+        self.max_depth = max(self.max_depth, self._in_flight)
+        return True
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` credits (one per ACKed chunk)."""
+        if n < 0 or n > self._in_flight:
+            raise TransportError(
+                f"cannot release {n} credits with {self._in_flight} in flight"
+            )
+        self._in_flight -= n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CreditWindow({self._in_flight}/{self.credits}, "
+            f"max_depth={self.max_depth})"
+        )

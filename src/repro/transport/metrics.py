@@ -1,0 +1,122 @@
+"""Transport observability: counters + timeline events for the trace.
+
+Every sender/receiver owns a :class:`TransportMetrics` and a dedicated
+:class:`~repro.hw.clock.Timeline` registered process-wide, so
+``repro.hw.trace.chrome_trace`` picks transport activity up exactly
+like device/stream activity.  The counters additionally export
+Chrome-trace *counter* events (``"ph": "C"``) so retries, bytes, and
+the compression ratio are inspectable in Perfetto next to the
+timelines they explain.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.hw.clock import Timeline
+
+__all__ = [
+    "TransportMetrics",
+    "new_transport_timeline",
+    "transport_timelines",
+    "reset_transport_timelines",
+]
+
+
+@dataclass
+class TransportMetrics:
+    """Counters for one transport endpoint (one sender or receiver)."""
+
+    role: str = ""  # "sender" or "receiver"
+    peer: str = ""  # e.g. "rank3->rank8"
+    steps: int = 0
+    raw_bytes: int = 0  # pre-codec payload bytes
+    wire_bytes: int = 0  # bytes actually put on the wire (first sends)
+    bytes_out: int = 0  # everything transmitted, retries included
+    bytes_in: int = 0
+    chunks_sent: int = 0
+    chunks_received: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    retries: int = 0
+    drops_recovered: int = 0  # chunks that needed >= 1 retransmission
+    duplicates_dropped: int = 0
+    checksum_failures: int = 0
+    backoff_time: float = 0.0  # simulated seconds spent backing off
+    max_queue_depth: int = 0  # credit-window high-water mark
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """raw/wire byte ratio (1.0 when nothing was sent or codec=none)."""
+        return self.raw_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+    def as_dict(self) -> dict:
+        out = {
+            "role": self.role,
+            "peer": self.peer,
+            "steps": self.steps,
+            "raw_bytes": self.raw_bytes,
+            "wire_bytes": self.wire_bytes,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+            "chunks_sent": self.chunks_sent,
+            "chunks_received": self.chunks_received,
+            "acks_sent": self.acks_sent,
+            "acks_received": self.acks_received,
+            "retries": self.retries,
+            "drops_recovered": self.drops_recovered,
+            "duplicates_dropped": self.duplicates_dropped,
+            "checksum_failures": self.checksum_failures,
+            "backoff_time": self.backoff_time,
+            "max_queue_depth": self.max_queue_depth,
+            "compression_ratio": self.compression_ratio,
+        }
+        out.update(self.extras)
+        return out
+
+    def chrome_counter_events(self, tid: int = 0, ts: float = 0.0) -> list[dict]:
+        """Chrome trace-event counter samples for this endpoint."""
+        label = f"transport {self.role} {self.peer}".strip()
+        return [
+            {
+                "name": label,
+                "ph": "C",
+                "pid": 0,
+                "tid": tid,
+                "ts": ts,
+                "args": {
+                    "retries": self.retries,
+                    "bytes_out": self.bytes_out,
+                    "bytes_in": self.bytes_in,
+                    "wire_bytes": self.wire_bytes,
+                    "compression_ratio": round(self.compression_ratio, 3),
+                    "queue_depth": self.max_queue_depth,
+                },
+            }
+        ]
+
+
+_registry_lock = threading.Lock()
+_timelines: list[Timeline] = []
+
+
+def new_transport_timeline(name: str) -> Timeline:
+    """A fresh, registry-tracked timeline for one transport endpoint."""
+    tl = Timeline(name)
+    with _registry_lock:
+        _timelines.append(tl)
+    return tl
+
+
+def transport_timelines() -> list[Timeline]:
+    """Every transport timeline created since the last reset."""
+    with _registry_lock:
+        return list(_timelines)
+
+
+def reset_transport_timelines() -> None:
+    """Drop registered timelines (test/benchmark helper)."""
+    with _registry_lock:
+        _timelines.clear()

@@ -1,0 +1,63 @@
+"""Sender-side retry: exponential backoff with jitter.
+
+The policy separates two time bases on purpose:
+
+- ``ack_timeout`` is *wall-clock* seconds — how long the sender's
+  thread actually polls for ACKs before declaring a chunk lost (the
+  threaded simulator delivers messages in real time);
+- ``backoff(attempt)`` is *simulated* seconds — the delay a real
+  sender would insert before retransmitting, charged to the sender's
+  :class:`~repro.hw.clock.SimClock` so fault recovery is visible on
+  the simulated timeline (and absent from clean runs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import TransportError
+from repro.units import us
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard delivery tries before giving up."""
+
+    max_retries: int = 8
+    ack_timeout: float = 0.05  # wall-clock seconds per attempt
+    backoff_base: float = us(50.0)  # simulated seconds, first retry
+    backoff_factor: float = 2.0
+    backoff_max: float = us(5000.0)
+    jitter: float = 0.25  # +/- fraction applied to each backoff
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise TransportError(f"max_retries must be >= 0: {self.max_retries}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise TransportError(f"jitter must be in [0, 1): {self.jitter}")
+        if self.backoff_factor < 1.0:
+            raise TransportError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.ack_timeout <= 0:
+            raise TransportError(f"ack_timeout must be > 0: {self.ack_timeout}")
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise TransportError(
+                f"need 0 <= backoff_base <= backoff_max: "
+                f"{self.backoff_base}/{self.backoff_max}"
+            )
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Simulated delay before retransmission ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise TransportError(f"attempt is 1-based: {attempt}")
+        delay = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay

@@ -57,6 +57,33 @@ class TestMemoryPool:
         assert pool_for(node.devices[0]) is pool_for(node.devices[0])
         assert pool_for(node.devices[0]) is not pool_for(node.devices[1])
 
+    def test_registry_pins_resource_against_id_reuse(self):
+        """Regression: keying by id(resource) aliased pools after GC.
+
+        An ``id()`` holds no reference — once a registered resource was
+        collected, a new resource could be allocated at the same id and
+        silently inherit the dead resource's pool (and its buckets).
+        The registry must hold a strong reference instead, released
+        only by reset_pools().
+        """
+        import gc
+        import weakref
+
+        from repro.hw.device import VirtualDevice
+        from repro.hw.spec import small_node_spec
+
+        dev = VirtualDevice(device_id=7, spec=small_node_spec().device)
+        pool = pool_for(dev)
+        ref = weakref.ref(dev)
+        del dev
+        gc.collect()
+        assert ref() is not None, "registry must pin the resource"
+        assert pool_for(ref()) is pool
+        del pool  # the pool object itself also references the resource
+        reset_pools()
+        gc.collect()
+        assert ref() is None, "reset_pools must release the resource"
+
     def test_oom_propagates_through_pool(self):
         set_node(VirtualNode(small_node_spec(mem_capacity=KiB)))
         reset_pools()

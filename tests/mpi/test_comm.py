@@ -244,6 +244,63 @@ class TestCollectives:
         assert cost.collective(1000, 16) > cost.collective(1000, 2)
 
 
+class TestRecvFallback:
+    def test_blocking_recv_fallback_raises_structured_mpierror(self, monkeypatch):
+        """A blocking recv that never completes reports structured details."""
+        import repro.mpi.comm as comm_mod
+
+        monkeypatch.setattr(comm_mod, "DEFAULT_RECV_TIMEOUT", 0.05)
+
+        def fn(comm):
+            if comm.rank == 1:
+                try:
+                    comm.recv(source=0, tag=9)  # rank 0 never sends
+                except MPIError as exc:
+                    return exc.details
+            return None
+
+        details = run_spmd(2, fn)[1]
+        assert details == {
+            "rank": 1, "source": 0, "tag": 9, "timeout": 0.05,
+        }
+
+    def test_explicit_timeout_is_polling_contract(self):
+        """Callers that pass timeout= get TimeoutError, not MPIError."""
+
+        def fn(comm):
+            if comm.rank == 1:
+                with pytest.raises(TimeoutError):
+                    comm.recv(source=0, tag=9, timeout=0.01)
+            return None
+
+        run_spmd(2, fn)
+
+    def test_uncharged_recv_does_not_advance_clock(self):
+        """charge=False marks control-plane traffic off the simulated clock."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("ctl", dest=1, tag=3, charge=False)
+                return None
+            t0 = current_clock().now
+            msg = comm.recv(source=0, tag=3, charge=False)
+            return (msg, current_clock().now - t0)
+
+        msg, elapsed = run_spmd(2, fn)[1]
+        assert msg == "ctl"
+        assert elapsed == 0.0
+
+    def test_wire_nbytes_hook_sizes_payload(self):
+        """Objects exposing wire_nbytes are charged their wire footprint."""
+        from repro.mpi.comm import _payload_bytes
+
+        class Framed:
+            wire_nbytes = 4096
+
+        assert _payload_bytes(Framed()) == 4096
+        assert _payload_bytes(("chunk", Framed())) == 4096 + len("chunk")
+
+
 class TestSelfCommunicator:
     def test_trivial_collectives(self):
         c = SelfCommunicator()

@@ -13,12 +13,14 @@ from repro.mpi.comm import run_spmd
 from repro.newton.adaptor import NewtonDataAdaptor
 from repro.newton.solver import NewtonSolver, SolverConfig
 from repro.sensei.backends.binning import BinningAnalysis
+from repro.sensei.data_adaptor import TableDataAdaptor
 from repro.sensei.intransit import (
     EndpointRunner,
     InTransitBridge,
     InTransitLayout,
     run_in_transit,
 )
+from repro.svtk.table import TableData
 
 
 class TestLayout:
@@ -55,6 +57,101 @@ class TestLayout:
             lay.endpoint_of(2)
         with pytest.raises(ExecutionError):
             lay.producers_of(0)
+
+
+class TestLayoutEdgeCases:
+    @pytest.mark.parametrize("m,n", [(5, 2), (7, 3), (9, 4), (10, 3)])
+    def test_uneven_split_is_fair(self, m, n):
+        """When N does not divide M, loads differ by at most one."""
+        lay = InTransitLayout(m=m, n=n)
+        counts = [len(lay.producers_of(e)) for e in range(m, m + n)]
+        assert sum(counts) == m
+        assert set(counts) <= {m // n, -(-m // n)}
+
+    @pytest.mark.parametrize("partitioner", ["block", "cyclic", "weighted"])
+    @pytest.mark.parametrize("m,n", [(4, 2), (5, 2), (8, 3)])
+    def test_endpoint_of_producers_of_round_trip(self, partitioner, m, n):
+        lay = InTransitLayout(m=m, n=n, partitioner=partitioner)
+        for p in range(m):
+            assert p in lay.producers_of(lay.endpoint_of(p))
+        served = sum((lay.producers_of(e) for e in range(m, m + n)), [])
+        assert sorted(served) == list(range(m))
+
+    def test_weighted_layout_balances_heavy_producer(self):
+        lay = InTransitLayout(
+            m=4, n=2, partitioner="weighted", weights=(10.0, 1.0, 1.0, 1.0)
+        )
+        heavy_ep = lay.endpoint_of(0)
+        assert all(lay.endpoint_of(p) != heavy_ep for p in (1, 2, 3))
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(ExecutionError):
+            InTransitLayout(m=4, n=2, partitioner="hilbert")
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ExecutionError):
+            InTransitLayout(m=4, n=2, partitioner="weighted", weights=(1.0,))
+
+    def test_layouts_with_equal_fields_compare_equal(self):
+        assert InTransitLayout(m=4, n=2) == InTransitLayout(m=4, n=2)
+
+
+class TestServeDrain:
+    def test_serve_drains_after_unequal_step_counts(self):
+        """The fin handshake ends serve() cleanly; no shutdown tag."""
+        layout = InTransitLayout(m=2, n=1)
+
+        def producer_main(sim_comm, bridge):
+            t = TableData("bodies")
+            t.add_host_column("x", np.full(4, float(bridge._world.rank)))
+            t.add_host_column("mass", np.full(4, 0.02))
+            da = TableDataAdaptor({"bodies": t})
+            for step in range(2):
+                da.set_step(step, 0.0)
+                bridge.execute(da)
+            return bridge._world.rank
+
+        producers, endpoints = run_in_transit(
+            layout, producer_main, _binning_factory()
+        )
+        (runner,) = endpoints
+        assert runner.steps_processed == 2
+        # Every receiver saw the graceful fin, not a timeout.
+        assert all(r.finished for r in runner.receivers.values())
+
+    def test_zero_step_run_drains_cleanly(self):
+        layout = InTransitLayout(m=2, n=1)
+
+        def producer_main(sim_comm, bridge):
+            return 0  # never calls execute: finalize sends a bare fin
+
+        producers, endpoints = run_in_transit(
+            layout, producer_main, _binning_factory()
+        )
+        (runner,) = endpoints
+        assert runner.steps_processed == 0
+        assert all(r.finished for r in runner.receivers.values())
+
+    def test_finalize_idempotent_and_execute_after_finalize_rejected(self):
+        layout = InTransitLayout(m=1, n=1)
+
+        def producer_main(sim_comm, bridge):
+            t = TableData("bodies")
+            t.add_host_column("x", np.zeros(3))
+            t.add_host_column("mass", np.full(3, 0.02))
+            da = TableDataAdaptor({"bodies": t})
+            da.set_step(0, 0.0)
+            bridge.execute(da)
+            bridge.finalize()
+            bridge.finalize()  # idempotent
+            try:
+                bridge.execute(da)
+            except ExecutionError:
+                return "rejected"
+            return "accepted"
+
+        producers, _ = run_in_transit(layout, producer_main, _binning_factory())
+        assert producers == ["rejected"]
 
 
 class TestCommSplit:

@@ -31,6 +31,7 @@ def test_all_examples_are_covered():
         "placement_sweep.py",
         "galaxy_intransit.py",
         "profiling_deep_dive.py",
+        "transport_faults.py",
     }
     assert set(ALL_EXAMPLES) == covered
 
@@ -74,3 +75,11 @@ def test_profiling_deep_dive(monkeypatch, capsys, tmp_path):
     run_example("profiling_deep_dive.py", [str(trace)], monkeypatch)
     assert trace.exists()
     assert "utilization" in capsys.readouterr().out
+
+
+def test_transport_faults(monkeypatch, capsys, tmp_path):
+    run_example("transport_faults.py", [str(tmp_path)], monkeypatch)
+    out = capsys.readouterr().out
+    assert "delivery was byte-identical" in out
+    assert "x smaller" in out
+    assert (tmp_path / "transport_trace.json").exists()

@@ -1,0 +1,75 @@
+"""Credit-window flow control and retry-policy tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.flow import CreditWindow
+from repro.transport.retry import RetryPolicy
+from repro.units import us
+
+
+class TestCreditWindow:
+    def test_bounded_acquire(self):
+        w = CreditWindow(2)
+        assert w.try_acquire() and w.try_acquire()
+        assert not w.try_acquire()  # back-pressure
+        assert w.in_flight == 2 and w.available == 0
+
+    def test_release_restores_credit(self):
+        w = CreditWindow(1)
+        assert w.try_acquire()
+        assert not w.try_acquire()
+        w.release()
+        assert w.try_acquire()
+
+    def test_high_water_mark(self):
+        w = CreditWindow(4)
+        for _ in range(3):
+            w.try_acquire()
+        w.release(3)
+        assert w.max_depth == 3
+
+    def test_invalid_credits(self):
+        with pytest.raises(TransportError):
+            CreditWindow(0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(backoff_base=us(50.0), backoff_factor=2.0, jitter=0.0)
+        rng = random.Random(0)
+        d1 = p.backoff(1, rng)
+        d2 = p.backoff(2, rng)
+        d3 = p.backoff(3, rng)
+        assert d2 == pytest.approx(2 * d1)
+        assert d3 == pytest.approx(4 * d1)
+
+    def test_backoff_capped(self):
+        p = RetryPolicy(
+            backoff_base=us(50.0), backoff_factor=10.0,
+            backoff_max=us(100.0), jitter=0.0,
+        )
+        assert p.backoff(8, random.Random(0)) == pytest.approx(us(100.0))
+
+    def test_jitter_stays_in_band(self):
+        p = RetryPolicy(backoff_base=us(100.0), jitter=0.25)
+        rng = random.Random(42)
+        for attempt in range(1, 5):
+            base = min(
+                us(100.0) * p.backoff_factor ** (attempt - 1), p.backoff_max
+            )
+            for _ in range(50):
+                d = p.backoff(attempt, rng)
+                assert 0.75 * base <= d <= 1.25 * base
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(TransportError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(TransportError):
+            RetryPolicy(ack_timeout=0.0)

@@ -1,0 +1,79 @@
+"""Partitioner tests: block, cyclic, weighted M-to-N maps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.partition import (
+    available_partitioners,
+    get_partitioner,
+)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_partitioners()
+        assert {"block", "cyclic", "weighted"} <= set(names)
+
+    def test_unknown(self):
+        with pytest.raises(TransportError):
+            get_partitioner("hilbert")
+
+
+class TestBlock:
+    def test_matches_historical_mapping(self):
+        assign = get_partitioner("block").assign(4, 2)
+        assert assign == [0, 0, 1, 1]
+
+    def test_uneven_is_contiguous_and_fair(self):
+        assign = get_partitioner("block").assign(5, 2)
+        assert assign == sorted(assign)  # contiguous ranges
+        counts = [assign.count(e) for e in range(2)]
+        assert sorted(counts) == [2, 3]
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        assert get_partitioner("cyclic").assign(5, 2) == [0, 1, 0, 1, 0]
+
+    def test_fairness(self):
+        assign = get_partitioner("cyclic").assign(7, 3)
+        counts = [assign.count(e) for e in range(3)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestWeighted:
+    def test_uniform_weights_spread_evenly(self):
+        assign = get_partitioner("weighted").assign(6, 3, (1,) * 6)
+        counts = [assign.count(e) for e in range(3)]
+        assert counts == [2, 2, 2]
+
+    def test_heavy_producer_isolated(self):
+        # One producer outweighs the rest combined: it gets an endpoint
+        # nearly to itself.
+        assign = get_partitioner("weighted").assign(4, 2, (10, 1, 1, 1))
+        heavy_ep = assign[0]
+        others = [e for p, e in enumerate(assign) if p != 0]
+        assert all(e != heavy_ep for e in others)
+
+    def test_default_weights_cover_all_endpoints(self):
+        assign = get_partitioner("weighted").assign(6, 3, None)
+        assert set(assign) == {0, 1, 2}
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(TransportError):
+            get_partitioner("weighted").assign(4, 2, (1.0, 2.0))
+
+
+@pytest.mark.parametrize("name", ["block", "cyclic", "weighted"])
+@pytest.mark.parametrize("m,n", [(1, 1), (4, 2), (5, 2), (7, 3), (8, 1)])
+class TestInvariants:
+    def test_every_producer_assigned_valid_endpoint(self, name, m, n):
+        assign = get_partitioner(name).assign(m, n)
+        assert len(assign) == m
+        assert all(0 <= e < n for e in assign)
+
+    def test_every_endpoint_used(self, name, m, n):
+        assign = get_partitioner(name).assign(m, n)
+        assert set(assign) == set(range(n))

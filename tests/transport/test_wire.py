@@ -1,0 +1,174 @@
+"""Wire-format tests: codecs, chunking, checksums, reassembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.hamr.runtime import current_clock
+from repro.transport.wire import (
+    DEFAULT_CHUNK_BYTES,
+    SERIALIZE_BANDWIDTH,
+    WIRE_VERSION,
+    Chunk,
+    Codec,
+    StepAssembler,
+    available_codecs,
+    decode_step,
+    encode_step,
+    get_codec,
+    register_codec,
+)
+from repro.svtk.table import TableData
+
+
+def make_table(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    t = TableData("bodies")
+    t.add_host_column("x", rng.standard_normal(n))
+    t.add_host_column("mass", rng.uniform(0.01, 0.03, n))
+    return t
+
+
+class TestCodecs:
+    def test_registry(self):
+        assert "none" in available_codecs()
+        assert "zlib" in available_codecs()
+
+    def test_unknown_codec_is_structured_error(self):
+        with pytest.raises(TransportError) as ei:
+            get_codec("snappy")
+        assert ei.value.details["codec"] == "snappy"
+
+    def test_none_codec_roundtrip(self):
+        c = get_codec("none")
+        assert c.decompress(c.compress(b"abc")) == b"abc"
+
+    def test_zlib_roundtrip_and_shrinks(self):
+        c = get_codec("zlib")
+        data = b"\x00" * 4096
+        packed = c.compress(data)
+        assert len(packed) < len(data)
+        assert c.decompress(packed) == data
+
+    def test_zlib_costs_more_cpu_than_memcpy(self):
+        z = get_codec("zlib")
+        assert z.compress_time(1 << 20) > (1 << 20) / SERIALIZE_BANDWIDTH
+        assert z.decompress_time(1 << 20) < z.compress_time(1 << 20)
+
+    def test_register_codec(self):
+        class Rot13(Codec):
+            name = "rot13-test"
+
+        try:
+            register_codec(Rot13)
+            assert isinstance(get_codec("rot13-test"), Rot13)
+        finally:
+            from repro.transport import wire
+
+            wire._CODECS.pop("rot13-test", None)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_identity(self):
+        t = make_table()
+        chunks = encode_step(t, step=3, sim_time=1.5, codec="none")
+        step, sim_time, cols = decode_step(chunks)
+        assert step == 3 and sim_time == 1.5
+        for name in t.column_names:
+            np.testing.assert_array_equal(
+                cols[name], t.column(name).as_numpy_host()
+            )
+
+    @pytest.mark.parametrize("codec", ["none", "zlib"])
+    def test_roundtrip_all_codecs_byte_identical(self, codec):
+        t = make_table(seed=7)
+        chunks = encode_step(t, 0, 0.0, codec=codec, chunk_bytes=1024)
+        _, _, cols = decode_step(chunks)
+        for name in t.column_names:
+            expect = t.column(name).as_numpy_host()
+            assert cols[name].tobytes() == np.ascontiguousarray(expect).tobytes()
+
+    def test_chunking_respects_chunk_bytes(self):
+        t = make_table(n=4096)
+        chunks = encode_step(t, 0, 0.0, chunk_bytes=1024)
+        assert len(chunks) > 1
+        assert all(len(c.payload) <= 1024 for c in chunks)
+        assert {c.index for c in chunks} == set(range(chunks[0].total))
+        assert all(c.version == WIRE_VERSION for c in chunks)
+
+    def test_encode_charges_serialization_to_clock(self):
+        t = make_table(n=2048)
+        raw = sum(
+            t.column(n).as_numpy_host().nbytes for n in t.column_names
+        )
+        clock = current_clock()
+        t0 = clock.now
+        encode_step(t, 0, 0.0, codec="none")
+        assert clock.now - t0 == pytest.approx(raw / SERIALIZE_BANDWIDTH)
+
+    def test_compression_charges_extra_cpu(self):
+        t = make_table(n=2048)
+        clock = current_clock()
+        t0 = clock.now
+        encode_step(t, 0, 0.0, codec="none")
+        plain = clock.now - t0
+        t1 = clock.now
+        encode_step(t, 0, 0.0, codec="zlib")
+        assert clock.now - t1 > plain
+
+    def test_wire_nbytes_includes_header(self):
+        t = make_table(n=16)
+        (c,) = encode_step(t, 0, 0.0)
+        assert c.wire_nbytes == len(c.payload) + 64
+
+    def test_decode_incomplete_set_rejected(self):
+        t = make_table(n=4096)
+        chunks = encode_step(t, 0, 0.0, chunk_bytes=1024)
+        with pytest.raises(TransportError):
+            decode_step(chunks[:-1])
+
+    def test_decode_version_mismatch_rejected(self):
+        t = make_table(n=16)
+        (c,) = encode_step(t, 0, 0.0)
+        imposter = Chunk(
+            99, c.step, c.sim_time, c.index, c.total, c.checksum,
+            c.codec, c.raw_nbytes, c.meta, c.payload,
+        )
+        with pytest.raises(TransportError):
+            decode_step([imposter])
+
+    def test_decode_empty_rejected(self):
+        with pytest.raises(TransportError):
+            decode_step([])
+
+
+class TestChecksum:
+    def test_verify_and_corrupt(self):
+        t = make_table(n=64)
+        (c,) = encode_step(t, 0, 0.0)
+        assert c.verify()
+        bad = c.corrupted()
+        assert not bad.verify()
+        assert bad.seq == c.seq
+
+
+class TestStepAssembler:
+    def test_out_of_order_and_duplicates(self):
+        t = make_table(n=4096)
+        chunks = encode_step(t, 5, 0.5, chunk_bytes=1024)
+        asm = StepAssembler()
+        statuses = [asm.offer(c) for c in reversed(chunks)]
+        assert statuses[-1] == "complete"
+        assert all(s == "new" for s in statuses[:-1])
+        # Duplicate before take: recognized via pending set.
+        assert asm.offer(chunks[0]) == "duplicate"
+        step, _, cols = asm.take(5)
+        assert step == 5
+        np.testing.assert_array_equal(
+            cols["x"], t.column("x").as_numpy_host()
+        )
+        # Late duplicate after delivery: permanently recognized.
+        assert asm.offer(chunks[1]) == "duplicate"
+        assert asm.is_done(5)

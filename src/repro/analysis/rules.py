@@ -1,4 +1,4 @@
-"""The built-in rules (HL001-HL007) targeting this codebase's idioms.
+"""The built-in rules (HL001-HL008) targeting this codebase's idioms.
 
 Each rule encodes one of the correctness hazards the heterogeneous
 substrate permits mechanically (see :mod:`repro.hamr.buffer`): the
@@ -28,6 +28,7 @@ __all__ = [
     "ThreadOutsideRunnerRule",
     "SwallowedErrorRule",
     "PoolLeakRule",
+    "PlacementChargeRule",
     "DEFAULT_RULES",
     "default_rules",
 ]
@@ -482,6 +483,74 @@ class PoolLeakRule(Rule):
                 )
 
 
+# -- HL008 --------------------------------------------------------------------
+
+class PlacementChargeRule(Rule):
+    """Work charged to a device other than the resolved placement.
+
+    The placement formula (Eq. 1) exists so every rank charges its in
+    situ work to *its* assigned device.  A function that resolves the
+    placement — ``placement.resolve(rank)``, ``resolve_device()``, or
+    ``select_device(...)`` — and then passes a *hardcoded* device
+    ordinal as ``device_id=`` to some call is charging work to a device
+    the formula may have assigned to another rank: on a shared node
+    that double-charges one device while the resolved one idles, and
+    the accounting (utilization, contention) silently lies.
+
+    Charging the host (``-1`` / ``HOST_DEVICE_ID``) is exempt — host
+    staging next to a device-placed analysis is a legitimate pattern,
+    and the host is not a placement-managed device.
+    """
+
+    id = "HL008"
+    severity = Severity.WARNING
+    title = "device charge bypasses the resolved placement"
+    hint = (
+        "pass the resolved device (the value of placement.resolve(rank) "
+        "/ resolve_device() / select_device(...)) instead of a "
+        "hardcoded ordinal; deliberate cross-device staging may "
+        "suppress with '# lint: disable=HL008' and a justification"
+    )
+
+    _resolvers = ("resolve", "resolve_device", "select_device")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            resolved: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    if _attr_name(node.value.func) in self._resolvers:
+                        for tgt in node.targets:
+                            if isinstance(tgt, ast.Name):
+                                resolved.add(tgt.id)
+            if not resolved:
+                continue  # nothing resolved here: not this rule's business
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _attr_name(node.func) in self._resolvers:
+                    continue  # the resolving call itself
+                kws = _keywords(node)
+                if "device_id" not in kws:
+                    continue
+                dev = _literal_device_id(kws["device_id"])
+                if dev is None or dev < 0:
+                    continue  # non-literal, or host staging (exempt)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call charges device {dev} although this function "
+                    f"resolved the placement into "
+                    f"{'/'.join(sorted(resolved))}",
+                    details={
+                        "device_id": dev,
+                        "resolved": ", ".join(sorted(resolved)),
+                    },
+                )
+
+
 DEFAULT_RULES: tuple[type[Rule], ...] = (
     RawDataAccessRule,
     AllocatorMismatchRule,
@@ -490,6 +559,7 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     ThreadOutsideRunnerRule,
     SwallowedErrorRule,
     PoolLeakRule,
+    PlacementChargeRule,
 )
 
 

@@ -1,0 +1,62 @@
+"""repro.control — the adaptive runtime control plane.
+
+The paper exposes its execution-model knobs — lockstep vs.
+asynchronous execution, the Eq. 1 placement parameters, the transport
+codec — as static, user-supplied configuration.  This package closes
+the loop: per-step observations (solver time, in situ busy time,
+transfer bytes/time, compression ratio, device load) feed controller
+primitives (EWMA estimators, hysteresis bands, a discounted-UCB
+bandit), which drive *governors* that retune the knobs online through
+narrow actuator hooks:
+
+- :class:`~repro.control.governors.CodecGovernor` — picks the wire
+  codec per endpoint from the observed compression ratio and the
+  measured link bandwidth (``ReliableSender.set_codec``);
+- :class:`~repro.control.governors.ExecutionModeGovernor` — switches
+  lockstep ↔ asynchronous when the measured in situ / solver time
+  ratio crosses a hysteresis band, accounting for the deep copy's
+  apparent cost (``AnalysisAdaptor.set_execution_method``);
+- :class:`~repro.control.governors.PlacementGovernor` — starts from
+  Eq. 1 and rebalances ``n_use``/``offset`` when the device-load
+  signal shows overload (``AnalysisAdaptor.set_placement``);
+- :class:`~repro.control.governors.PoolTrimGovernor` — trims
+  stream-ordered memory pools above a high watermark
+  (``MemoryPool.trim_above``).
+
+A :class:`~repro.control.plan.ControlPlane` owns the governors, the
+signal ring buffer, and the decision log; every decision is also
+exported as a Chrome-trace *instant* event so it is visible on the
+same timeline as the work it re-routed.  Configuration comes from the
+``<control>`` XML element (:class:`~repro.control.plan.ControlConfig`)
+with per-governor enable/freeze.  With no control plane attached,
+behavior is bit-identical to the static configuration.
+"""
+
+from repro.control.governors import (
+    CodecGovernor,
+    Decision,
+    ExecutionModeGovernor,
+    Governor,
+    PlacementGovernor,
+    PoolTrimGovernor,
+)
+from repro.control.plan import ControlConfig, ControlPlane, GovernorSetting
+from repro.control.policy import EWMA, DiscountedUCB, Hysteresis
+from repro.control.signals import SignalBuffer, StepObservation
+
+__all__ = [
+    "CodecGovernor",
+    "ControlConfig",
+    "ControlPlane",
+    "Decision",
+    "DiscountedUCB",
+    "EWMA",
+    "ExecutionModeGovernor",
+    "Governor",
+    "GovernorSetting",
+    "Hysteresis",
+    "PlacementGovernor",
+    "PoolTrimGovernor",
+    "SignalBuffer",
+    "StepObservation",
+]

@@ -1,0 +1,523 @@
+"""Governors: feedback controllers wired to the paper's runtime knobs.
+
+Each governor closes one loop: it digests observations through the
+primitives in :mod:`repro.control.policy` and, when the evidence says
+the current setting is wrong, pushes a new one through a narrow
+*actuator* callable.  A frozen governor keeps observing and logging
+decisions but never actuates — the ``<control>`` element's per-governor
+``freeze`` mode, useful for dry-running a policy against a production
+configuration.
+
+The four concrete governors map to the paper's knobs:
+
+==================  =====================================  =========================
+governor            decides                                actuator
+==================  =====================================  =========================
+CodecGovernor       wire codec per transport endpoint      ``ReliableSender.set_codec``
+ExecutionModeGov.   lockstep vs. asynchronous execution    ``AnalysisAdaptor.set_execution_method``
+PlacementGovernor   Eq. 1 ``n_use``/``offset`` rebalance   ``AnalysisAdaptor.set_placement``
+PoolTrimGovernor    pool high-watermark trim               ``MemoryPool.trim_above``
+==================  =====================================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.control.policy import EWMA, DiscountedUCB, Hysteresis
+from repro.hamr.runtime import current_clock
+from repro.hw.contention import ContentionModel, SharedResource
+from repro.sensei.execution import ExecutionMethod
+from repro.sensei.placement import DevicePlacement
+from repro.transport.wire import SERIALIZE_BANDWIDTH, get_codec
+
+__all__ = [
+    "Decision",
+    "Governor",
+    "CodecGovernor",
+    "ExecutionModeGovernor",
+    "PlacementGovernor",
+    "PoolTrimGovernor",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One governor verdict, logged whether or not it was applied.
+
+    ``applied`` is False when the governor is frozen (observe-only) or
+    has no actuator; ``args`` carries the structured context in the
+    same sorted ``(key, value)`` tuple format the analysis findings
+    use, so decision logs and lint/sanitizer reports line up.
+    """
+
+    governor: str
+    step: int
+    time: float  # simulated seconds; positions the decision on the trace
+    action: str
+    reason: str
+    applied: bool = True
+    args: tuple = ()
+
+    @property
+    def args_dict(self) -> dict:
+        return dict(self.args)
+
+    def to_dict(self) -> dict:
+        return {
+            "governor": self.governor,
+            "step": self.step,
+            "time": self.time,
+            "action": self.action,
+            "reason": self.reason,
+            "applied": self.applied,
+            "args": self.args_dict,
+        }
+
+
+class Governor:
+    """Base class: enable/freeze plumbing plus decision construction."""
+
+    name = "governor"
+
+    def __init__(
+        self,
+        actuator: Callable | None = None,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        self.actuator = actuator
+        self.enabled = bool(enabled)
+        self.frozen = bool(frozen)
+
+    def _actuate(self, *args) -> bool:
+        """Push a setting through the actuator; False when frozen."""
+        if self.frozen or self.actuator is None:
+            return False
+        self.actuator(*args)
+        return True
+
+    def _decision(
+        self,
+        step: int,
+        t: float | None,
+        action: str,
+        reason: str,
+        applied: bool,
+        **args,
+    ) -> Decision:
+        return Decision(
+            governor=self.name,
+            step=int(step),
+            time=float(t) if t is not None else current_clock().now,
+            action=action,
+            reason=reason,
+            applied=applied,
+            args=tuple(sorted(args.items())),
+        )
+
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        """Evaluate the loop; a Decision when the setting should change."""
+        raise NotImplementedError
+
+
+class CodecGovernor(Governor):
+    """Chooses the wire codec per endpoint: observed ratio × bandwidth.
+
+    The governor keeps EWMA estimates of the per-step payload, the
+    achieved link bandwidth (wire bytes over measured wire time), and
+    the achievable compression ratio — observed directly while a
+    compressing codec is active, or measured by compressing a small
+    payload *sample* (the probe, charged to the simulated clock) while
+    running uncompressed.  Each decision compares the predicted
+    per-step cost of every candidate codec::
+
+        cost(none) = payload/serialize_bw + payload/bw_link
+        cost(c)    = payload/serialize_bw + payload/c.compress_bw
+                     + (payload/ratio)/bw_link
+
+    and switches only when the current codec is worse than the best by
+    more than ``margin`` (anti-flap).  With ``policy="bandit"`` the
+    model is replaced by a discounted-UCB bandit over the candidate
+    codecs rewarded with the negative observed cost per raw byte —
+    useful when the cost model is not trusted; deterministic under the
+    configured seed.
+    """
+
+    name = "codec"
+
+    def __init__(
+        self,
+        actuator: Callable[[str], None] | None = None,
+        codecs: Sequence[str] = ("none", "zlib"),
+        initial: str = "none",
+        margin: float = 1.05,
+        alpha: float = 0.5,
+        probe_bytes: int = 8192,
+        probe_interval: int = 8,
+        policy: str = "model",
+        seed: int = 0,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        if policy not in ("model", "bandit"):
+            raise ValueError(f"policy must be 'model' or 'bandit': {policy!r}")
+        self.codecs = tuple(codecs)
+        self.current = str(initial)
+        self.margin = float(margin)
+        self.probe_bytes = int(probe_bytes)
+        self.probe_interval = int(probe_interval)
+        self.policy = policy
+        self._bandwidth = EWMA(alpha)
+        self._payload = EWMA(alpha)
+        self._ratio = EWMA(alpha)
+        self._last_probe_step: int | None = None
+        self._bandit = DiscountedUCB(self.codecs, seed=seed)
+
+    # -- sensors ---------------------------------------------------------------
+    def observe(
+        self,
+        step: int,
+        raw_bytes: int,
+        wire_bytes: int,
+        transfer_time: float,
+        apparent_time: float | None = None,
+        sample: bytes | None = None,
+    ) -> None:
+        """Feed one step's transport measurements.
+
+        ``transfer_time`` is the wire time (apparent ship time minus
+        the encode/backoff charges); ``sample`` is a slice of the raw
+        payload the ratio probe may compress.
+        """
+        if raw_bytes > 0:
+            self._payload.update(raw_bytes)
+        if wire_bytes > 0 and transfer_time > 0:
+            self._bandwidth.update(wire_bytes / transfer_time)
+        if self.current != "none" and raw_bytes > 0 and wire_bytes > 0:
+            self._ratio.update(raw_bytes / wire_bytes)
+        elif sample:
+            due = (
+                self._ratio.value is None
+                or self._last_probe_step is None
+                or step - self._last_probe_step >= self.probe_interval
+            )
+            if due:
+                self._probe(step, sample)
+        if apparent_time is not None and raw_bytes > 0:
+            # Reward for the bandit: cheap steps per raw byte are good.
+            self._bandit.update(self.current, -apparent_time / raw_bytes)
+
+    def _probe(self, step: int, sample: bytes) -> None:
+        """Measure the achievable ratio on a payload sample.
+
+        The probe compresses up to ``probe_bytes`` with the first
+        compressing candidate and charges that CPU to the simulated
+        clock, so adaptivity is never free in the measurements.
+        """
+        names = [c for c in self.codecs if c != "none"]
+        if not names:
+            return
+        codec = get_codec(names[0])
+        probe = bytes(sample[: self.probe_bytes])
+        if not probe:
+            return
+        compressed = codec.compress(probe)
+        current_clock().advance(codec.compress_time(len(probe)))
+        self._ratio.update(len(probe) / max(len(compressed), 1))
+        self._last_probe_step = step
+
+    # -- the loop ---------------------------------------------------------------
+    def predict_cost(self, name: str) -> float | None:
+        """Predicted per-step cost of running under codec ``name``."""
+        payload = self._payload.value
+        bandwidth = self._bandwidth.value
+        if payload is None or bandwidth is None or bandwidth <= 0:
+            return None
+        codec = get_codec(name)
+        serialize = payload / SERIALIZE_BANDWIDTH
+        if codec.name == "none":
+            return serialize + payload / bandwidth
+        ratio = max(self._ratio.get(1.0), 1e-9)
+        return (
+            serialize
+            + codec.compress_time(payload)
+            + (payload / ratio) / bandwidth
+        )
+
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        if not self.enabled:
+            return None
+        if self.policy == "bandit":
+            choice = self._bandit.select()
+            if choice == self.current:
+                return None
+            reason = (
+                f"discounted-UCB over {self.codecs}: "
+                f"score({choice})={self._bandit.score(choice):.3g}"
+            )
+            detail = {"policy": "bandit", "pulls": self._bandit.pulls}
+        else:
+            costs = {c: self.predict_cost(c) for c in self.codecs}
+            if any(v is None for v in costs.values()):
+                return None  # estimates not warm yet
+            choice = min(self.codecs, key=lambda c: costs[c])
+            if choice == self.current:
+                return None
+            if costs[self.current] <= self.margin * costs[choice]:
+                return None  # not enough predicted improvement to switch
+            reason = (
+                f"predicted step cost {costs[self.current]:.3g}s under "
+                f"{self.current!r} vs {costs[choice]:.3g}s under {choice!r} "
+                f"(ratio~{self._ratio.get(1.0):.2f}, "
+                f"bw~{self._bandwidth.get(0.0):.3g} B/s)"
+            )
+            detail = {
+                "policy": "model",
+                "cost_current": costs[self.current],
+                "cost_best": costs[choice],
+            }
+        applied = self._actuate(choice)
+        previous = self.current
+        if applied:
+            self.current = choice
+        return self._decision(
+            step, t, f"codec={choice}", reason, applied,
+            previous=previous, **detail,
+        )
+
+
+class ExecutionModeGovernor(Governor):
+    """Switches lockstep ↔ asynchronous on the in situ / solver ratio.
+
+    The controlled signal is ``(insitu - copy) / sim``: the busy time
+    asynchronous execution could hide, net of the deep copy it cannot
+    (``deep_copy_table`` charges the snapshot to the simulation — the
+    paper's "apparent" asynchronous cost), relative to the solver's
+    step time.  The signal passes through a hysteresis band so one
+    noisy step cannot flap the mode.  The copy-cost estimate prefers
+    measurement (the apparent time of an asynchronous step *is* the
+    copy charge) and falls back to the analytic estimate supplied by
+    the caller until the first asynchronous step provides one.
+    """
+
+    name = "execution"
+
+    def __init__(
+        self,
+        actuator: Callable[[ExecutionMethod], None] | None = None,
+        low: float = 0.05,
+        high: float = 0.15,
+        alpha: float = 0.5,
+        initial: ExecutionMethod = ExecutionMethod.LOCKSTEP,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        self.mode = initial
+        self._band = Hysteresis(
+            low, high, state=(initial is ExecutionMethod.ASYNCHRONOUS)
+        )
+        self._sim = EWMA(alpha)
+        self._insitu = EWMA(alpha)
+        self._copy = EWMA(alpha)
+        self._copy_measured = False
+        self.last_ratio: float | None = None
+
+    def observe(
+        self,
+        step: int,
+        sim_time: float,
+        insitu_time: float,
+        apparent_time: float,
+        copy_estimate: float | None = None,
+    ) -> None:
+        if sim_time > 0:
+            self._sim.update(sim_time)
+        if insitu_time > 0:
+            self._insitu.update(insitu_time)
+        if self.mode is ExecutionMethod.ASYNCHRONOUS and apparent_time > 0:
+            # Under async the simulation only pays the deep copy.
+            self._copy.update(apparent_time)
+            self._copy_measured = True
+        elif not self._copy_measured and copy_estimate is not None \
+                and copy_estimate > 0:
+            self._copy.update(copy_estimate)
+
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        if not self.enabled:
+            return None
+        sim = self._sim.value
+        insitu = self._insitu.value
+        if not sim or insitu is None:
+            return None
+        copy = self._copy.get(0.0)
+        ratio = (insitu - copy) / sim
+        self.last_ratio = ratio
+        want_async = self._band.update(ratio)
+        target = (
+            ExecutionMethod.ASYNCHRONOUS if want_async
+            else ExecutionMethod.LOCKSTEP
+        )
+        if target is self.mode:
+            return None
+        applied = self._actuate(target)
+        previous = self.mode
+        if applied:
+            self.mode = target
+        return self._decision(
+            step, t, f"execution={target.value}",
+            f"(insitu-copy)/sim = ({insitu:.3g}-{copy:.3g})/{sim:.3g} = "
+            f"{ratio:.3f} crossed the [{self._band.low}, {self._band.high}] "
+            "band",
+            applied,
+            previous=previous.value,
+            ratio=round(ratio, 4),
+            insitu=insitu,
+            copy=copy,
+            sim=sim,
+        )
+
+
+class PlacementGovernor(Governor):
+    """Rebalances Eq. 1's ``n_use``/``offset`` under device overload.
+
+    The load signal is a per-device busy fraction (windowed
+    utilization); an optional per-device sharer count is translated
+    into an effective load through the
+    :class:`~repro.hw.contention.ContentionModel` dilation — a device
+    two parties time-share is worth more than its raw busy fraction
+    says.  When the device Eq. 1 resolves to for this rank scores
+    above ``overload`` × the node mean while calmer devices exist, the
+    governor re-aims ``offset`` at the calmest device and widens
+    ``n_use`` to the calm set, keeping the paper's placement formula as
+    the mechanism and changing only its parameters.
+    """
+
+    name = "placement"
+
+    def __init__(
+        self,
+        actuator: Callable[[DevicePlacement], None] | None = None,
+        rank: int = 0,
+        base: DevicePlacement | None = None,
+        overload: float = 1.30,
+        contention: ContentionModel | None = None,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        self.rank = int(rank)
+        self.placement = base if base is not None else DevicePlacement.auto()
+        self.overload = float(overload)
+        self.contention = contention if contention is not None else ContentionModel()
+        self._loads: dict[int, float] = {}
+        self._parties: dict[int, int] = {}
+
+    def observe(
+        self,
+        step: int,
+        loads: Mapping[int, float],
+        parties: Mapping[int, int] | None = None,
+    ) -> None:
+        """Latest per-device busy fractions (and optional sharer counts)."""
+        self._loads = {int(d): float(v) for d, v in loads.items()}
+        self._parties = (
+            {int(d): int(v) for d, v in parties.items()} if parties else {}
+        )
+
+    def scores(self) -> dict[int, float]:
+        """Effective load per device: busy fraction × contention dilation."""
+        out = {}
+        for d, load in self._loads.items():
+            sharers = max(0, self._parties.get(d, 1) - 1)
+            out[d] = load * self.contention.dilation(
+                SharedResource.GPU_COMPUTE, sharers
+            )
+        return out
+
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        if not self.enabled or not self._loads:
+            return None
+        n_available = len(self._loads)
+        current = self.placement.resolve(self.rank, n_available=n_available)
+        if current < 0 or current not in self._loads:
+            return None  # host placement is not this governor's business
+        s = self.scores()
+        mean = sum(s.values()) / len(s)
+        if mean <= 0 or s[current] <= self.overload * mean:
+            return None
+        calm = sorted(
+            (d for d in s if s[d] <= self.overload * mean),
+            key=lambda d: (s[d], d),
+        )
+        if not calm:
+            return None  # everything is overloaded: nowhere better to go
+        new = DevicePlacement.auto(
+            n_use=len(calm), stride=1, offset=calm[0]
+        )
+        if new == self.placement:
+            return None
+        applied = self._actuate(new)
+        previous = self.placement
+        if applied:
+            self.placement = new
+        return self._decision(
+            step, t, f"placement=auto(n_use={new.n_use}, offset={new.offset})",
+            f"device {current} effective load {s[current]:.3f} exceeds "
+            f"{self.overload:.2f}x node mean {mean:.3f}; calm set {calm}",
+            applied,
+            previous=f"auto(n_use={previous.n_use}, offset={previous.offset})",
+            overloaded_device=current,
+            load=round(s[current], 4),
+            mean=round(mean, 4),
+        )
+
+
+class PoolTrimGovernor(Governor):
+    """Trims a stream-ordered memory pool above a high watermark.
+
+    Pooled bytes stay claimed on the device (the OOM footprint the
+    paper worries about); this governor releases them back whenever
+    the pool's idle inventory exceeds ``watermark_bytes``, via
+    :meth:`repro.hamr.pool.MemoryPool.trim_above`.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        pool,
+        watermark_bytes: int,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(pool.trim_above, enabled, frozen)
+        if watermark_bytes < 0:
+            raise ValueError(f"watermark must be >= 0: {watermark_bytes}")
+        self.pool = pool
+        self.watermark = int(watermark_bytes)
+        self.trimmed_bytes = 0
+
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        if not self.enabled:
+            return None
+        pooled = self.pool.pooled_bytes
+        if pooled <= self.watermark:
+            return None
+        freed = 0
+        applied = not self.frozen
+        if applied:
+            freed = self.actuator(self.watermark)
+            self.trimmed_bytes += freed
+        return self._decision(
+            step, t, f"trim {freed} B",
+            f"pooled {pooled} B exceeds watermark {self.watermark} B on "
+            f"{self.pool.resource.name}",
+            applied,
+            pooled=pooled,
+            watermark=self.watermark,
+            freed=freed,
+        )

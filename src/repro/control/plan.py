@@ -1,0 +1,517 @@
+"""The control plane: configuration, wiring, taps, and the decision log.
+
+:class:`ControlPlane` is the one object harness code touches.  It owns
+the signal ring buffer, the governors, and the decision log; bridges
+and senders that have a plane *attached* call its ``observe_*`` taps
+once per step, and the plane turns those measurements into governor
+decisions on the configured cadence.  Nothing here runs unless a plane
+is attached — with no control plane, behavior is bit-identical to the
+static configuration.
+
+Configuration is the ``<control>`` element::
+
+    <sensei>
+      <control enabled="1" seed="0" interval="1" window="64"
+               codec="on" execution="freeze" placement="off" pool="on"
+               mode_low="0.05" mode_high="0.15" codec_margin="1.05"
+               overload="1.3" pool_watermark_kib="1024"/>
+      ...
+    </sensei>
+
+Each governor attribute takes ``on`` (closed loop), ``freeze``
+(observe and log decisions but never actuate — a dry run), or ``off``
+(not even created).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.control.governors import (
+    CodecGovernor,
+    Decision,
+    ExecutionModeGovernor,
+    Governor,
+    PlacementGovernor,
+    PoolTrimGovernor,
+)
+from repro.control.signals import SignalBuffer, StepObservation
+from repro.errors import ConfigError
+from repro.hamr.allocator import HOST_DEVICE_ID
+from repro.hamr.runtime import current_clock
+from repro.svtk.table import TableData
+from repro.transport.wire import SERIALIZE_BANDWIDTH
+from repro.units import KiB
+
+__all__ = [
+    "GovernorSetting",
+    "ControlConfig",
+    "ControlPlane",
+    "payload_nbytes",
+    "estimate_deep_copy_time",
+]
+
+
+@dataclass(frozen=True)
+class GovernorSetting:
+    """Per-governor switch: on (closed loop), freeze (dry run), off."""
+
+    enabled: bool = True
+    frozen: bool = False
+
+    @classmethod
+    def parse(cls, raw: str) -> "GovernorSetting":
+        key = str(raw).strip().lower()
+        if key in ("on", "1", "true", "yes"):
+            return cls(enabled=True, frozen=False)
+        if key in ("off", "0", "false", "no"):
+            return cls(enabled=False, frozen=False)
+        if key in ("freeze", "frozen", "observe"):
+            return cls(enabled=True, frozen=True)
+        raise ConfigError(
+            f"governor setting must be on/off/freeze, got {raw!r}"
+        )
+
+    @property
+    def value(self) -> str:
+        if not self.enabled:
+            return "off"
+        return "freeze" if self.frozen else "on"
+
+
+_ON = GovernorSetting(True, False)
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Parsed ``<control>`` element (all attributes optional)."""
+
+    enabled: bool = True
+    seed: int = 0
+    interval: int = 1          # decide every N observed steps
+    window: int = 64           # signal ring-buffer capacity
+    codec: GovernorSetting = field(default_factory=lambda: _ON)
+    execution: GovernorSetting = field(default_factory=lambda: _ON)
+    placement: GovernorSetting = field(default_factory=lambda: _ON)
+    pool: GovernorSetting = field(default_factory=lambda: _ON)
+    mode_low: float = 0.05     # hysteresis band on (insitu-copy)/sim
+    mode_high: float = 0.15
+    codec_margin: float = 1.05  # predicted-cost ratio needed to switch
+    overload: float = 1.30     # placement rebalance threshold (x mean)
+    pool_watermark_kib: float | None = None
+
+    def __post_init__(self):
+        if self.interval < 1:
+            raise ConfigError(f"interval must be >= 1: {self.interval}")
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1: {self.window}")
+        if self.mode_low > self.mode_high:
+            raise ConfigError(
+                f"need mode_low <= mode_high: "
+                f"{self.mode_low} > {self.mode_high}"
+            )
+        if self.codec_margin < 1.0:
+            raise ConfigError(
+                f"codec_margin must be >= 1: {self.codec_margin}"
+            )
+        if self.overload < 1.0:
+            raise ConfigError(f"overload must be >= 1: {self.overload}")
+        if self.pool_watermark_kib is not None and self.pool_watermark_kib < 0:
+            raise ConfigError(
+                f"pool_watermark_kib must be >= 0: {self.pool_watermark_kib}"
+            )
+
+    @classmethod
+    def from_xml_attrs(cls, attrs: Mapping[str, str]) -> "ControlConfig":
+        """Build a config from a ``<control>`` element's attributes."""
+        attrs = dict(attrs)
+
+        def _num(key: str, default, conv):
+            raw = attrs.pop(key, None)
+            if raw is None:
+                return default
+            try:
+                return conv(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"<control>: attribute {key!r} must be a "
+                    f"{conv.__name__}, got {raw!r}"
+                ) from None
+
+        enabled_raw = attrs.pop("enabled", "1").strip().lower()
+        if enabled_raw in ("1", "true", "yes", "on"):
+            enabled = True
+        elif enabled_raw in ("0", "false", "no", "off"):
+            enabled = False
+        else:
+            raise ConfigError(f"invalid enabled value {enabled_raw!r}")
+        settings = {}
+        for name in ("codec", "execution", "placement", "pool"):
+            raw = attrs.pop(name, None)
+            settings[name] = (
+                GovernorSetting.parse(raw) if raw is not None else _ON
+            )
+        watermark = _num("pool_watermark_kib", None, float)
+        config = cls(
+            enabled=enabled,
+            seed=_num("seed", 0, int),
+            interval=_num("interval", 1, int),
+            window=_num("window", 64, int),
+            mode_low=_num("mode_low", 0.05, float),
+            mode_high=_num("mode_high", 0.15, float),
+            codec_margin=_num("codec_margin", 1.05, float),
+            overload=_num("overload", 1.30, float),
+            pool_watermark_kib=watermark,
+            **settings,
+        )
+        if attrs:
+            raise ConfigError(
+                f"<control>: unknown attribute(s) {sorted(attrs)}"
+            )
+        return config
+
+
+def payload_nbytes(data) -> int:
+    """Raw bytes of every table the data adaptor currently publishes."""
+    total = 0
+    for name in data.get_mesh_names():
+        mesh = data.get_mesh(name)
+        if not isinstance(mesh, TableData):
+            continue
+        for col_name in mesh.column_names:
+            col = mesh.column(col_name)
+            total += int(col.n_values) * np.dtype(col.dtype).itemsize
+    return total
+
+
+def estimate_deep_copy_time(data) -> float:
+    """Analytic estimate of ``deep_copy_table``'s apparent cost.
+
+    Used by the execution-mode governor before the first asynchronous
+    step has *measured* the copy; per-column same-space transfers at
+    the modeled memory bandwidth, matching what the copier would
+    charge.
+    """
+    from repro.hamr.copier import transfer_duration
+
+    total = 0.0
+    for name in data.get_mesh_names():
+        mesh = data.get_mesh(name)
+        if not isinstance(mesh, TableData):
+            continue
+        for col_name in mesh.column_names:
+            col = mesh.column(col_name)
+            nbytes = int(col.n_values) * np.dtype(col.dtype).itemsize
+            device = getattr(col, "device_id", HOST_DEVICE_ID)
+            total += transfer_duration(nbytes, device, device)
+    return total
+
+
+class ControlPlane:
+    """Owns the governors, the signal buffer, and the decision log.
+
+    One plane serves one rank's bridge and/or transport endpoints.
+    Attach with :meth:`repro.sensei.bridge.Bridge.attach_control` /
+    :meth:`repro.sensei.intransit.InTransitBridge.attach_control`; the
+    taps wire governors lazily on first observation, so attachment
+    order does not matter.
+    """
+
+    def __init__(self, config: ControlConfig | None = None):
+        self.config = config if config is not None else ControlConfig()
+        self.signals = SignalBuffer(self.config.window)
+        self.decisions: list[Decision] = []
+        self.governors: list[Governor] = []
+        self._mode_governor: ExecutionModeGovernor | None = None
+        self._placement_governor: PlacementGovernor | None = None
+        self._codec_governors: dict[int, CodecGovernor] = {}
+        self._pool_governors: dict[int, PoolTrimGovernor] = {}
+        # Per-tap bookkeeping for delta extraction.
+        self._bridge_prev_end: float | None = None
+        self._bridge_insitu_total = 0.0
+        self._sender_marks: dict[int, tuple] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def _log(self, decision: Decision | None) -> Decision | None:
+        if decision is not None:
+            self.decisions.append(decision)
+        return decision
+
+    def _due(self, step: int) -> bool:
+        return step % self.config.interval == 0
+
+    # -- wiring ------------------------------------------------------------------
+    def wire_bridge(self, bridge) -> None:
+        """Create the execution-mode and placement governors for a bridge."""
+        cfg = self.config
+        if cfg.execution.enabled and self._mode_governor is None:
+            analyses = bridge.analyses
+
+            def set_mode(method):
+                for a in analyses:
+                    a.set_execution_method(method)
+
+            initial = (
+                analyses[0].execution_method if analyses
+                else ExecutionModeGovernor().mode
+            )
+            self._mode_governor = ExecutionModeGovernor(
+                actuator=set_mode,
+                low=cfg.mode_low,
+                high=cfg.mode_high,
+                initial=initial,
+                frozen=cfg.execution.frozen,
+            )
+            self.governors.append(self._mode_governor)
+        if cfg.placement.enabled and self._placement_governor is None:
+            analyses = bridge.analyses
+
+            def set_placement(placement):
+                for a in analyses:
+                    a.set_placement(placement)
+
+            base = analyses[0].placement if analyses else None
+            rank = getattr(getattr(bridge, "_comm", None), "rank", 0)
+            self._placement_governor = PlacementGovernor(
+                actuator=set_placement,
+                rank=rank,
+                base=base,
+                overload=cfg.overload,
+                frozen=cfg.placement.frozen,
+            )
+            self.governors.append(self._placement_governor)
+
+    def wire_sender(self, sender) -> CodecGovernor | None:
+        """Create (or return) the codec governor for one sender."""
+        cfg = self.config
+        if not cfg.codec.enabled:
+            return None
+        gov = self._codec_governors.get(id(sender))
+        if gov is None:
+            from repro.transport.wire import available_codecs
+
+            gov = CodecGovernor(
+                actuator=sender.set_codec,
+                codecs=available_codecs(),
+                initial=sender.codec.name,
+                margin=cfg.codec_margin,
+                seed=cfg.seed,
+                frozen=cfg.codec.frozen,
+            )
+            self._codec_governors[id(sender)] = gov
+            self.governors.append(gov)
+        return gov
+
+    def wire_pool(self, pool, watermark_bytes: int | None = None) -> PoolTrimGovernor | None:
+        """Create (or return) the trim governor for one memory pool."""
+        cfg = self.config
+        if not cfg.pool.enabled:
+            return None
+        if watermark_bytes is None:
+            if cfg.pool_watermark_kib is None:
+                return None  # no watermark configured: nothing to govern
+            watermark_bytes = int(cfg.pool_watermark_kib * KiB)
+        gov = self._pool_governors.get(id(pool))
+        if gov is None:
+            gov = PoolTrimGovernor(
+                pool, watermark_bytes, frozen=cfg.pool.frozen
+            )
+            self._pool_governors[id(pool)] = gov
+            self.governors.append(gov)
+        return gov
+
+    # -- taps --------------------------------------------------------------------
+    def observe_bridge_step(self, bridge, data, t_start: float, apparent: float) -> None:
+        """Per-step tap from an in situ bridge's ``execute``.
+
+        ``t_start``/``apparent`` bound the bridge's work on the caller's
+        clock; the solver time is the gap since the previous step's
+        bridge exit.
+        """
+        if not self.enabled:
+            return
+        self.wire_bridge(bridge)
+        clock = current_clock()
+        step = data.time_step
+        sim_time = (
+            t_start - self._bridge_prev_end
+            if self._bridge_prev_end is not None
+            else 0.0
+        )
+        self._bridge_prev_end = clock.now
+        insitu_total = sum(a.insitu_busy_time for a in bridge.analyses)
+        insitu = max(0.0, insitu_total - self._bridge_insitu_total)
+        self._bridge_insitu_total = insitu_total
+        payload = payload_nbytes(data)
+        self.signals.push(
+            StepObservation(
+                step=step,
+                t=clock.now,
+                sim_time=sim_time,
+                insitu_time=insitu,
+                apparent_time=apparent,
+                payload_bytes=payload,
+            )
+        )
+        gov = self._mode_governor
+        if gov is not None and sim_time > 0:
+            copy_est = (
+                estimate_deep_copy_time(data) if payload > 0 else None
+            )
+            gov.observe(
+                step, sim_time, insitu, apparent, copy_estimate=copy_est
+            )
+            if self._due(step):
+                self._log(gov.decide(step, t=clock.now))
+        if self._placement_governor is not None and self._due(step):
+            self._log(self._placement_governor.decide(step, t=clock.now))
+        self._decide_pools(step, clock.now)
+
+    def observe_transport_step(self, sender, step: int, apparent: float, table=None) -> None:
+        """Per-step tap from an in transit bridge, after ``send_step``.
+
+        Extracts this step's deltas from the sender's cumulative
+        :class:`~repro.transport.metrics.TransportMetrics`, backs the
+        encode and backoff charges out of the apparent time to estimate
+        the pure wire time, and feeds the endpoint's codec governor.
+        """
+        if not self.enabled:
+            return
+        gov = self.wire_sender(sender)
+        clock = current_clock()
+        m = sender.metrics
+        prev = self._sender_marks.get(
+            id(sender), (0, 0, 0, 0.0, 0)
+        )
+        d_raw = m.raw_bytes - prev[0]
+        d_wire = m.wire_bytes - prev[1]
+        d_out = m.bytes_out - prev[2]
+        d_backoff = m.backoff_time - prev[3]
+        d_retries = m.retries - prev[4]
+        self._sender_marks[id(sender)] = (
+            m.raw_bytes, m.wire_bytes, m.bytes_out, m.backoff_time, m.retries
+        )
+        codec = sender.codec
+        encode = d_raw / SERIALIZE_BANDWIDTH
+        if codec.name != "none":
+            encode += codec.compress_time(d_raw)
+        transfer_time = max(0.0, apparent - encode - d_backoff)
+        ratio = (d_raw / d_wire) if d_raw > 0 and d_wire > 0 else 1.0
+        self.signals.push(
+            StepObservation(
+                step=step,
+                t=clock.now,
+                apparent_time=apparent,
+                payload_bytes=d_raw,
+                wire_bytes=d_out,
+                transfer_time=transfer_time,
+                compression_ratio=ratio,
+                retries=d_retries,
+                extras=(("codec", codec.name),),
+            )
+        )
+        if gov is None:
+            return
+        sample = None
+        if codec.name == "none" and table is not None:
+            sample = self._payload_sample(table, gov.probe_bytes)
+        gov.observe(
+            step, d_raw, d_out, transfer_time,
+            apparent_time=apparent, sample=sample,
+        )
+        if self._due(step):
+            self._log(gov.decide(step, t=clock.now))
+        self._decide_pools(step, clock.now)
+
+    def observe_device_loads(
+        self,
+        step: int,
+        loads: Mapping[int, float],
+        parties: Mapping[int, int] | None = None,
+    ) -> None:
+        """Feed per-device busy fractions to the placement governor.
+
+        Harness code (or a benchmark) computes the loads from device
+        timeline utilization over its window of interest; the plane
+        does not guess at them.
+        """
+        if not self.enabled or self._placement_governor is None:
+            return
+        self._placement_governor.observe(step, loads, parties=parties)
+        if self._due(step):
+            self._log(
+                self._placement_governor.decide(
+                    step, t=current_clock().now
+                )
+            )
+
+    def _decide_pools(self, step: int, t: float) -> None:
+        for gov in self._pool_governors.values():
+            if self._due(step):
+                self._log(gov.decide(step, t=t))
+
+    @staticmethod
+    def _payload_sample(table: TableData, nbytes: int) -> bytes | None:
+        """Up to ``nbytes`` of raw column data for the ratio probe."""
+        if not isinstance(table, TableData):
+            return None
+        for name in table.column_names:
+            arr = np.asarray(table.column(name).as_numpy_host())
+            if arr.size == 0:
+                continue
+            count = max(1, min(arr.size, nbytes // max(arr.dtype.itemsize, 1)))
+            return np.ascontiguousarray(arr[:count]).tobytes()
+        return None
+
+    # -- reporting ---------------------------------------------------------------
+    def chrome_instant_events(self, time_scale: float = 1e6, pid: int = 0, tid: int = 0) -> list[dict]:
+        """Decision log as Chrome-trace instant events.
+
+        Pass as ``extra_events`` to
+        :func:`repro.hw.trace.chrome_trace` so every governor decision
+        is visible on the same timeline as the work it re-routed.
+        """
+        from repro.hw.trace import instant_event
+
+        return [
+            instant_event(
+                f"{d.governor}: {d.action}",
+                d.time,
+                time_scale=time_scale,
+                pid=pid,
+                tid=tid,
+                category="control",
+                args={
+                    "step": d.step,
+                    "reason": d.reason,
+                    "applied": d.applied,
+                    **d.args_dict,
+                },
+            )
+            for d in self.decisions
+        ]
+
+    def summary(self) -> dict:
+        """Decision counts and governor states (reporting aid)."""
+        by_governor: dict[str, int] = {}
+        for d in self.decisions:
+            by_governor[d.governor] = by_governor.get(d.governor, 0) + 1
+        return {
+            "enabled": self.enabled,
+            "observations": self.signals.pushed,
+            "decisions": len(self.decisions),
+            "by_governor": by_governor,
+            "governors": [g.name for g in self.governors],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ControlPlane(governors={[g.name for g in self.governors]}, "
+            f"decisions={len(self.decisions)})"
+        )

@@ -88,6 +88,36 @@ class MemoryPool:
             self.resource.release_memory(freed)
         return freed
 
+    def trim_above(self, watermark_bytes: int) -> int:
+        """Trim pooled inventory down to ``watermark_bytes``; returns freed.
+
+        The high-watermark variant of :meth:`trim`
+        (``cudaMemPoolAttrReleaseThreshold`` semantics): largest
+        buckets go first so the fewest blocks are evicted, and the pool
+        keeps up to the watermark for future hits.  The control plane's
+        pool governor drives this.
+        """
+        watermark_bytes = int(watermark_bytes)
+        if watermark_bytes < 0:
+            raise ValueError(
+                f"watermark_bytes must be >= 0: {watermark_bytes}"
+            )
+        freed = 0
+        with self._lock:
+            for nbytes in sorted(self._buckets, reverse=True):
+                while (
+                    self._buckets[nbytes] > 0
+                    and self._pooled_bytes > watermark_bytes
+                ):
+                    self._buckets[nbytes] -= 1
+                    self._pooled_bytes -= nbytes
+                    freed += nbytes
+                if self._buckets[nbytes] == 0:
+                    del self._buckets[nbytes]
+        if freed:
+            self.resource.release_memory(freed)
+        return freed
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MemoryPool({self.resource.name!r}, pooled={self.pooled_bytes}, "

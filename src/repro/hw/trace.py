@@ -32,9 +32,39 @@ __all__ = [
     "utilization",
     "idle_gaps",
     "concurrency_profile",
+    "instant_event",
     "chrome_trace",
     "write_chrome_trace",
 ]
+
+
+def instant_event(
+    name: str,
+    t: float,
+    time_scale: float = 1e6,
+    pid: int = 0,
+    tid: int = 0,
+    category: str = "control",
+    args: Mapping | None = None,
+) -> dict:
+    """One Chrome-trace *instant* event (the vertical marker glyph).
+
+    Instant events mark a point in time rather than a duration —
+    governor decisions, faults, phase boundaries.  Pass the result in
+    ``extra_events`` to :func:`chrome_trace`; scope ``"g"`` (global)
+    draws the marker across the whole track so it is visible at any
+    zoom.
+    """
+    return {
+        "name": str(name),
+        "cat": str(category),
+        "ph": "i",
+        "s": "g",
+        "pid": pid,
+        "tid": tid,
+        "ts": float(t) * time_scale,
+        "args": dict(args) if args else {},
+    }
 
 
 @dataclass(frozen=True)

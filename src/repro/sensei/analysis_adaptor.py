@@ -68,9 +68,22 @@ class AnalysisAdaptor(ABC):
 
     # -- the extension control API ---------------------------------------------------
     def set_execution_method(self, method: ExecutionMethod | str) -> None:
-        """Select lockstep or asynchronous execution."""
+        """Select lockstep or asynchronous execution.
+
+        Callable at any step boundary (the control plane's mode
+        governor does): switching to lockstep first drains any
+        in-flight asynchronous task so results stay ordered; switching
+        to asynchronous defers worker/communicator setup to the next
+        ``execute``.
+        """
         if isinstance(method, str):
             method = ExecutionMethod.parse(method)
+        if (
+            method is ExecutionMethod.LOCKSTEP
+            and self._runner is not None
+            and self._runner.in_flight
+        ):
+            self._runner.drain()
         self._method = method
 
     def set_asynchronous(self, asynchronous: bool = True) -> None:
@@ -155,7 +168,12 @@ class AnalysisAdaptor(ABC):
             apparent = clock.now - t0
             actual = apparent
         else:
-            assert self._runner is not None
+            if self._runner is None:
+                # The method was switched to asynchronous after
+                # initialize (e.g. by the control plane's mode
+                # governor): set up the worker lane on first use.
+                self._async_comm = self._comm.dup()
+                self._runner = AsyncRunner(self.name)
             payload = self.acquire(data, deep=True)
             step_comm = self._async_comm
             busy0 = self._runner.busy_sim_time
@@ -198,8 +216,29 @@ class AnalysisAdaptor(ABC):
     @property
     def total_actual_time(self) -> float:
         if self._runner is not None:
-            return self._runner.busy_sim_time
+            # Mixed-mode runs (the control plane switches methods at
+            # step boundaries) count lockstep steps too.
+            return self.insitu_busy_time
         return sum(t.actual for t in self.timings)
+
+    @property
+    def insitu_busy_time(self) -> float:
+        """Cumulative analysis busy time, valid mid-run under any mode.
+
+        Unlike :attr:`total_actual_time` — whose async portion is only
+        distributed into the timings on ``finalize`` — this counter is
+        monotone while the run is still going, so the control plane can
+        take per-step deltas from it.  It sums the lockstep steps'
+        actual times with the async runner's accumulated busy time
+        (which lags in-flight work by one step — the price of not
+        blocking on it).
+        """
+        lockstep = sum(
+            t.actual for t in self.timings
+            if t.method is ExecutionMethod.LOCKSTEP
+        )
+        runner = self._runner.busy_sim_time if self._runner is not None else 0.0
+        return lockstep + runner
 
     # -- back-end hooks ------------------------------------------------------------------
     @abstractmethod

@@ -36,12 +36,30 @@ class Bridge:
         self._comm: Communicator = SelfCommunicator()
         self._initialized = False
         self._finalized = False
+        self._control = None
         #: Apparent in situ cost per executed step (simulated seconds).
         self.step_costs: list[float] = []
+
+    def attach_control(self, plane) -> None:
+        """Attach a :class:`repro.control.ControlPlane` to this bridge.
+
+        Once attached, every ``execute`` feeds the plane one
+        observation (solver time since the last step, in situ busy
+        time, apparent cost, payload size) and the plane's governors
+        may retune the analyses' execution method and placement.  With
+        no plane attached this bridge's behavior is bit-identical to
+        the static configuration.
+        """
+        self._control = plane
 
     @property
     def analyses(self) -> tuple[AnalysisAdaptor, ...]:
         return tuple(self._analyses)
+
+    @property
+    def control_plane(self):
+        """The attached control plane, or None (reporting access)."""
+        return self._control
 
     def add_analysis(self, analysis: AnalysisAdaptor) -> None:
         """Register a back-end; allowed before or after ``initialize``."""
@@ -82,7 +100,12 @@ class Bridge:
         ok = True
         for a in self._analyses:
             ok = bool(a.execute(data)) and ok
-        self.step_costs.append(clock.now - t0)
+        apparent = clock.now - t0
+        self.step_costs.append(apparent)
+        if self._control is not None:
+            self._control.observe_bridge_step(
+                self, data, t_start=t0, apparent=apparent
+            )
         return ok
 
     def finalize(self) -> None:

@@ -166,6 +166,10 @@ class ConfigurableAnalysis(AnalysisAdaptor):
         #: Parsed ``<transport>`` element, or None — an in transit
         #: driver reads this to configure the data plane.
         self.transport = document.transport
+        #: Parsed ``<control>`` element, or None — a harness builds a
+        #: :class:`repro.control.ControlPlane` from this and attaches
+        #: it to the bridge(s) driving the run.
+        self.control = document.control
         self.children: list[AnalysisAdaptor] = []
         for cfg in document.analyses:
             if not cfg.enabled:
@@ -181,7 +185,19 @@ class ConfigurableAnalysis(AnalysisAdaptor):
             self.children.append(analysis)
 
     # ConfigurableAnalysis delegates whole-sale; the acquire/process
-    # split of a leaf back-end does not apply.
+    # split of a leaf back-end does not apply.  The control API fans
+    # out to the children so a control-plane actuator aimed at this
+    # adaptor retunes every back-end it orchestrates.
+    def set_execution_method(self, method) -> None:
+        super().set_execution_method(method)
+        for child in self.children:
+            child.set_execution_method(method)
+
+    def set_placement(self, placement) -> None:
+        super().set_placement(placement)
+        for child in self.children:
+            child.set_placement(placement)
+
     def initialize(self, comm: Communicator | None = None) -> None:
         if self._initialized:
             return
@@ -212,6 +228,10 @@ class ConfigurableAnalysis(AnalysisAdaptor):
     @property
     def total_apparent_time(self) -> float:
         return sum(child.total_apparent_time for child in self.children)
+
+    @property
+    def insitu_busy_time(self) -> float:
+        return sum(child.insitu_busy_time for child in self.children)
 
     def acquire(self, data: DataAdaptor, deep: bool):  # pragma: no cover
         raise NotImplementedError("ConfigurableAnalysis delegates to children")

@@ -143,6 +143,17 @@ class AsyncRunner:
         with self._lock:
             return self._task_end_sim
 
+    def snapshot(self) -> tuple[float, int, float]:
+        """Atomic ``(busy_sim_time, tasks_run, last_end_time)`` triple.
+
+        The individual properties each take the lock separately, so a
+        control-plane tap reading them back to back can see a torn view
+        (a task completing in between).  Deltas fed to governors should
+        come from one snapshot.
+        """
+        with self._lock:
+            return self._busy_sim_time, self._tasks_run, self._task_end_sim
+
     # -- execution ---------------------------------------------------------------
     def launch(self, fn: Callable[[], None], start_time: float | None = None) -> float:
         """Start ``fn`` in a worker thread; returns the launch time.

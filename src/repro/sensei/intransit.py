@@ -134,7 +134,20 @@ class InTransitBridge:
         self._sender: ReliableSender | None = None
         self._initialized = False
         self._finalized = False
+        self._control = None
         self.step_costs: list[float] = []
+
+    def attach_control(self, plane) -> None:
+        """Attach a :class:`repro.control.ControlPlane` to this producer.
+
+        Every ``execute`` then feeds the plane this step's transport
+        measurements (raw/wire byte deltas, estimated wire time,
+        retries) and the plane's codec governor may retarget this
+        endpoint's wire codec.  Pair with
+        ``TransportConfig(compression="adaptive")`` to retire the
+        static codec choice entirely.
+        """
+        self._control = plane
 
     def initialize(self, world_comm: Communicator) -> None:
         if self._initialized:
@@ -164,7 +177,12 @@ class InTransitBridge:
                 f"{type(table).__name__}"
             )
         self._sender.send_step(data.time_step, data.time, table)
-        self.step_costs.append(clock.now - t0)
+        apparent = clock.now - t0
+        self.step_costs.append(apparent)
+        if self._control is not None:
+            self._control.observe_transport_step(
+                self._sender, data.time_step, apparent, table=table
+            )
         return True
 
     def finalize(self) -> None:
@@ -173,6 +191,11 @@ class InTransitBridge:
             return
         self._sender.close()
         self._finalized = True
+
+    @property
+    def control_plane(self):
+        """The attached control plane, or None (reporting access)."""
+        return self._control
 
     @property
     def metrics(self):
@@ -281,6 +304,7 @@ def run_in_transit(
     mesh_name: str = "bodies",
     transport: TransportConfig | None = None,
     cost: CommCostModel | None = None,
+    control=None,
 ) -> tuple[list[object], list[EndpointRunner]]:
     """Launch an M-producer / N-endpoint in transit run.
 
@@ -291,6 +315,9 @@ def run_in_transit(
     ``analyses_factory()`` builds each endpoint's analysis set.
     ``transport`` configures the wire (codec, chunking, retries, fault
     injection); ``cost`` overrides the interconnect cost model.
+    ``control`` (a :class:`repro.control.ControlConfig`) attaches a
+    fresh control plane to each producer's bridge, enabling adaptive
+    codec selection on that producer's link.
 
     Returns ``(producer_results, endpoint_runners)``.
     """
@@ -299,6 +326,10 @@ def run_in_transit(
         if layout.is_producer(comm.rank):
             sim_comm = comm.split(color=0, key=comm.rank)
             bridge = InTransitBridge(layout, mesh_name, transport)
+            if control is not None:
+                from repro.control.plan import ControlPlane
+
+                bridge.attach_control(ControlPlane(control))
             bridge.initialize(comm)
             try:
                 result = producer_main(sim_comm, bridge)

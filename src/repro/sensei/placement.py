@@ -42,6 +42,13 @@ def select_device(
     defaults to the current node's device count); ``n_use``, ``stride``,
     and ``offset`` are the user-tunable control parameters with defaults
     ``n_use = n_available``, ``stride = 1``, ``offset = 0``.
+
+    ``stride`` must be >= 1: a zero stride would silently collapse all
+    ranks onto ``offset``, and a negative stride walks the devices
+    backwards in a surprising order — both are config errors, not
+    placements.  A negative ``offset`` is allowed and wraps modulo
+    ``n_available`` (Python's ``%`` is non-negative for positive
+    moduli), so ``offset=-1`` aims at the node's last device.
     """
     if n_available is None:
         n_available = num_devices()
@@ -51,6 +58,8 @@ def select_device(
         n_use = n_available
     if n_use < 1:
         raise PlacementError(f"n_use must be >= 1, got {n_use}")
+    if stride < 1:
+        raise PlacementError(f"stride must be >= 1, got {stride}")
     if rank < 0:
         raise PlacementError(f"rank must be >= 0, got {rank}")
     # Eq. 1 with C precedence: ((r % n_u) * s + d_0) % n_a.
@@ -94,6 +103,8 @@ class DevicePlacement:
             raise PlacementError(f"invalid manual device id: {self.device_id}")
         if self.n_use is not None and self.n_use < 1:
             raise PlacementError(f"n_use must be >= 1, got {self.n_use}")
+        if self.stride < 1:
+            raise PlacementError(f"stride must be >= 1, got {self.stride}")
 
     @classmethod
     def host(cls) -> "DevicePlacement":

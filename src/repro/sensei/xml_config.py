@@ -8,6 +8,8 @@ attributes.  The schema::
     <sensei>
       <transport compression="zlib" chunk_kib="64" max_inflight="8"
                  retries="8" partitioner="block"/>
+      <control enabled="1" codec="on" execution="freeze"
+               placement="off" pool="on" interval="1" seed="0"/>
       <analysis type="data_binning" enabled="1" mesh="bodies"
                 axes="x,y" bins="256,256"
                 variables="mass:sum,vx:average"
@@ -20,7 +22,12 @@ attributes.  The schema::
 
 At most one ``<transport>`` element configures the in transit data
 plane (see :class:`repro.transport.config.TransportConfig`); it is
-ignored by purely in situ runs.
+ignored by purely in situ runs.  At most one ``<control>`` element
+configures the adaptive control plane (see
+:class:`repro.control.plan.ControlConfig`) — each governor attribute
+takes ``on``, ``off``, or ``freeze`` (observe and log, never actuate);
+without the element no control plane exists and every knob keeps its
+static setting.
 
 Common attributes (every ``<analysis>``):
 
@@ -44,6 +51,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.plan import ControlConfig
     from repro.transport.config import TransportConfig
 
 __all__ = [
@@ -110,11 +118,14 @@ class SenseiConfig:
     """A fully parsed ``<sensei>`` document.
 
     ``transport`` is None when the document has no ``<transport>``
-    element — in situ configurations never need one.
+    element — in situ configurations never need one.  ``control`` is
+    None when there is no ``<control>`` element, in which case no
+    control plane exists and every knob stays at its static setting.
     """
 
     analyses: tuple[AnalysisConfig, ...] = ()
     transport: "TransportConfig | None" = None
+    control: "ControlConfig | None" = None
 
 
 def parse_document(text: str) -> SenseiConfig:
@@ -127,6 +138,7 @@ def parse_document(text: str) -> SenseiConfig:
         raise ConfigError(f"root element must be <sensei>, got <{root.tag}>")
     configs: list[AnalysisConfig] = []
     transport = None
+    control = None
     for child in root:
         if child.tag == "transport":
             if transport is not None:
@@ -135,10 +147,17 @@ def parse_document(text: str) -> SenseiConfig:
 
             transport = TransportConfig.from_xml_attrs(child.attrib)
             continue
+        if child.tag == "control":
+            if control is not None:
+                raise ConfigError("at most one <control> element is allowed")
+            from repro.control.plan import ControlConfig
+
+            control = ControlConfig.from_xml_attrs(child.attrib)
+            continue
         if child.tag != "analysis":
             raise ConfigError(
-                f"unexpected element <{child.tag}>; only <analysis> and "
-                "<transport> are allowed"
+                f"unexpected element <{child.tag}>; only <analysis>, "
+                "<transport>, and <control> are allowed"
             )
         attrs = dict(child.attrib)
         atype = attrs.pop("type", None)
@@ -152,7 +171,9 @@ def parse_document(text: str) -> SenseiConfig:
         else:
             raise ConfigError(f"invalid enabled value {enabled_raw!r}")
         configs.append(AnalysisConfig(type=atype, enabled=enabled, attrs=attrs))
-    return SenseiConfig(analyses=tuple(configs), transport=transport)
+    return SenseiConfig(
+        analyses=tuple(configs), transport=transport, control=control
+    )
 
 
 def parse_xml(text: str) -> list[AnalysisConfig]:

@@ -193,7 +193,7 @@ class ReliableSender:
         self.comm = comm
         self.dest = int(dest)
         self.config = config
-        self.codec = get_codec(config.compression)
+        self.codec = get_codec(config.initial_codec)
         self.policy = config.retry
         self.window = CreditWindow(config.max_inflight)
         self.channel: Channel = (
@@ -211,6 +211,15 @@ class ReliableSender:
         )
         self.steps_sent = 0
         self._closed = False
+
+    def set_codec(self, name: str) -> None:
+        """Switch the wire codec for subsequent steps (control-plane hook).
+
+        Safe at any step boundary: every chunk carries its codec name,
+        so the receiver decodes each step with whatever codec encoded
+        it — no sender/receiver renegotiation is needed.
+        """
+        self.codec = get_codec(name)
 
     # -- data path -------------------------------------------------------------
     def send_step(self, step: int, sim_time: float, table: "TableData") -> None:

@@ -14,6 +14,12 @@ Schema (all attributes optional; defaults shown)::
 probabilities applied to the data direction only — they exist so a
 configuration can rehearse lossy-fabric behaviour without code
 changes.
+
+``compression`` accepts any registered codec name, or ``"adaptive"``
+to delegate the choice to the control plane's per-endpoint codec
+governor (see :mod:`repro.control`): the sender starts uncompressed
+and switches once the governor has measured the link bandwidth and
+the achievable ratio.
 """
 
 from __future__ import annotations
@@ -44,10 +50,14 @@ class TransportConfig:
     recv_timeout: float = 60.0  # wall-clock patience of a receiver
 
     def __post_init__(self):
-        if self.compression not in available_codecs():
+        if (
+            self.compression != "adaptive"
+            and self.compression not in available_codecs()
+        ):
             raise ConfigError(
                 f"unknown codec {self.compression!r}; available: "
-                f"{', '.join(available_codecs())}"
+                f"{', '.join(available_codecs())} (or 'adaptive' to let "
+                "the control plane's codec governor choose per endpoint)"
             )
         if self.partitioner not in available_partitioners():
             raise ConfigError(
@@ -60,6 +70,21 @@ class TransportConfig:
             raise ConfigError(f"max_inflight must be >= 1: {self.max_inflight}")
         if self.recv_timeout <= 0:
             raise ConfigError(f"recv_timeout must be > 0: {self.recv_timeout}")
+
+    @property
+    def adaptive(self) -> bool:
+        """True when codec selection is delegated to the control plane."""
+        return self.compression == "adaptive"
+
+    @property
+    def initial_codec(self) -> str:
+        """The codec a sender starts with.
+
+        Adaptive runs start uncompressed — the cheap choice on a good
+        link — and let the codec governor switch once it has measured
+        the link and the achievable ratio.
+        """
+        return "none" if self.adaptive else self.compression
 
     def with_faults(self, **kwargs) -> "TransportConfig":
         """A copy with fault-injection fields overridden."""

@@ -51,13 +51,16 @@ class RetryPolicy:
             )
 
     def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
-        """Simulated delay before retransmission ``attempt`` (1-based)."""
+        """Simulated delay before retransmission ``attempt`` (1-based).
+
+        ``backoff_max`` caps the *jittered* delay: jitter is applied to
+        the exponential curve first and the clamp last, so no draw can
+        exceed the cap (clamping before jittering let upward jitter
+        escape it).
+        """
         if attempt < 1:
             raise TransportError(f"attempt is 1-based: {attempt}")
-        delay = min(
-            self.backoff_base * self.backoff_factor ** (attempt - 1),
-            self.backoff_max,
-        )
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
         if self.jitter and rng is not None:
             delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
-        return delay
+        return min(delay, self.backoff_max)

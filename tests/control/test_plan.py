@@ -1,0 +1,337 @@
+"""Tests for ControlConfig parsing and the ControlPlane wiring/taps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.plan import (
+    ControlConfig,
+    ControlPlane,
+    GovernorSetting,
+    estimate_deep_copy_time,
+    payload_nbytes,
+)
+from repro.errors import ConfigError
+from repro.hamr.runtime import current_clock
+from repro.hw.trace import chrome_trace
+from repro.sensei.analysis_adaptor import AnalysisAdaptor
+from repro.sensei.bridge import Bridge
+from repro.sensei.data_adaptor import TableDataAdaptor
+from repro.sensei.execution import ExecutionMethod
+from repro.sensei.xml_config import parse_document
+from repro.svtk.table import TableData
+from repro.transport.metrics import TransportMetrics
+from repro.transport.wire import get_codec
+from repro.units import MiB, gbs
+
+
+class TestGovernorSetting:
+    @pytest.mark.parametrize("raw", ["on", "1", "true", "YES"])
+    def test_on(self, raw):
+        s = GovernorSetting.parse(raw)
+        assert s.enabled and not s.frozen and s.value == "on"
+
+    @pytest.mark.parametrize("raw", ["off", "0", "False", "no"])
+    def test_off(self, raw):
+        s = GovernorSetting.parse(raw)
+        assert not s.enabled and s.value == "off"
+
+    @pytest.mark.parametrize("raw", ["freeze", "frozen", "observe"])
+    def test_freeze(self, raw):
+        s = GovernorSetting.parse(raw)
+        assert s.enabled and s.frozen and s.value == "freeze"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigError, match="on/off/freeze"):
+            GovernorSetting.parse("maybe")
+
+
+class TestControlConfig:
+    def test_defaults(self):
+        cfg = ControlConfig()
+        assert cfg.enabled and cfg.interval == 1 and cfg.window == 64
+        assert cfg.codec.value == "on"
+        assert cfg.pool_watermark_kib is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval": 0},
+            {"window": 0},
+            {"mode_low": 0.2, "mode_high": 0.1},
+            {"codec_margin": 0.5},
+            {"overload": 0.9},
+            {"pool_watermark_kib": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            ControlConfig(**kwargs)
+
+    def test_from_xml_attrs(self):
+        cfg = ControlConfig.from_xml_attrs(
+            {
+                "enabled": "1",
+                "seed": "7",
+                "interval": "2",
+                "window": "16",
+                "codec": "freeze",
+                "placement": "off",
+                "mode_low": "0.02",
+                "mode_high": "0.2",
+                "codec_margin": "1.5",
+                "overload": "2.0",
+                "pool_watermark_kib": "512",
+            }
+        )
+        assert cfg.seed == 7 and cfg.interval == 2 and cfg.window == 16
+        assert cfg.codec.value == "freeze"
+        assert not cfg.placement.enabled
+        assert cfg.execution.value == "on"  # unmentioned: default on
+        assert cfg.mode_low == 0.02 and cfg.mode_high == 0.2
+        assert cfg.pool_watermark_kib == 512
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ConfigError, match="unknown attribute"):
+            ControlConfig.from_xml_attrs({"kodec": "on"})
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ConfigError, match="interval"):
+            ControlConfig.from_xml_attrs({"interval": "often"})
+
+    def test_bad_enabled_rejected(self):
+        with pytest.raises(ConfigError, match="enabled"):
+            ControlConfig.from_xml_attrs({"enabled": "maybe"})
+
+
+class TestControlXml:
+    def test_control_element_parsed(self):
+        doc = parse_document(
+            """
+            <sensei>
+              <control seed="3" execution="freeze" pool_watermark_kib="64"/>
+              <analysis type="histogram" mesh="m" array="a"/>
+            </sensei>
+            """
+        )
+        assert doc.control is not None
+        assert doc.control.seed == 3
+        assert doc.control.execution.value == "freeze"
+        assert doc.control.pool_watermark_kib == 64
+
+    def test_no_control_element_means_none(self):
+        doc = parse_document(
+            "<sensei><analysis type='histogram' mesh='m' array='a'/></sensei>"
+        )
+        assert doc.control is None
+
+    def test_duplicate_control_rejected(self):
+        with pytest.raises(ConfigError, match="at most one"):
+            parse_document("<sensei><control/><control/></sensei>")
+
+
+def make_adaptor(step, n=256):
+    t = TableData("bodies")
+    t.add_host_column("x", np.zeros(n))
+    da = TableDataAdaptor({"bodies": t})
+    da.set_step(step, 0.1 * step)
+    return da
+
+
+class TestPayloadHelpers:
+    def test_payload_nbytes_counts_table_columns(self):
+        assert payload_nbytes(make_adaptor(0, n=256)) == 256 * 8
+
+    def test_copy_estimate_positive_and_scales(self):
+        small = estimate_deep_copy_time(make_adaptor(0, n=64))
+        large = estimate_deep_copy_time(make_adaptor(0, n=4096))
+        assert 0 < small < large
+
+
+class HeavyAnalysis(AnalysisAdaptor):
+    """In situ work that costs ``cost`` simulated seconds per step."""
+
+    def __init__(self, cost=0.5):
+        super().__init__("heavy")
+        self.cost = cost
+
+    def acquire(self, data, deep):
+        return data.time_step
+
+    def process(self, payload, comm, device_id):
+        current_clock().advance(self.cost)
+
+
+class TestControlPlaneBridge:
+    def run_bridge(self, plane, steps=6, cost=0.5):
+        bridge = Bridge()
+        heavy = HeavyAnalysis(cost=cost)
+        bridge.initialize(analyses=[heavy])
+        if plane is not None:
+            bridge.attach_control(plane)
+        clk = current_clock()
+        for step in range(steps):
+            clk.advance(1.0)  # the solver
+            bridge.execute(make_adaptor(step))
+        bridge.finalize()
+        return heavy
+
+    def test_heavy_insitu_flips_to_asynchronous(self):
+        plane = ControlPlane(ControlConfig())
+        heavy = self.run_bridge(plane)
+        assert heavy.execution_method is ExecutionMethod.ASYNCHRONOUS
+        actions = [d.action for d in plane.decisions]
+        assert "execution=asynchronous" in actions
+        assert plane.signals.pushed == 6
+        assert plane.summary()["by_governor"]["execution"] >= 1
+
+    def test_light_insitu_stays_lockstep(self):
+        plane = ControlPlane(ControlConfig())
+        heavy = self.run_bridge(plane, cost=0.001)
+        assert heavy.execution_method is ExecutionMethod.LOCKSTEP
+        assert not [d for d in plane.decisions if d.governor == "execution"]
+
+    def test_frozen_execution_governor_logs_only(self):
+        cfg = ControlConfig.from_xml_attrs({"execution": "freeze"})
+        plane = ControlPlane(cfg)
+        heavy = self.run_bridge(plane)
+        assert heavy.execution_method is ExecutionMethod.LOCKSTEP
+        frozen = [d for d in plane.decisions if d.governor == "execution"]
+        assert frozen and all(not d.applied for d in frozen)
+
+    def test_disabled_plane_is_inert(self):
+        plane = ControlPlane(ControlConfig(enabled=False))
+        heavy = self.run_bridge(plane)
+        assert heavy.execution_method is ExecutionMethod.LOCKSTEP
+        assert plane.signals.pushed == 0
+        assert plane.decisions == [] and plane.governors == []
+
+    def test_disabled_plane_matches_no_plane_bit_identically(self):
+        t_without = None
+        for plane in (None, ControlPlane(ControlConfig(enabled=False))):
+            clk = current_clock()
+            start = clk.now
+            self.run_bridge(plane)
+            elapsed = clk.now - start
+            if t_without is None:
+                t_without = elapsed
+            else:
+                assert elapsed == t_without
+
+    def test_placement_governor_follows_device_loads(self):
+        plane = ControlPlane(ControlConfig())
+        bridge = Bridge()
+        bridge.initialize(analyses=[HeavyAnalysis(cost=0.01)])
+        bridge.attach_control(plane)
+        bridge.execute(make_adaptor(0))
+        plane.observe_device_loads(0, {0: 0.95, 1: 0.1, 2: 0.1, 3: 0.1})
+        bridge.finalize()
+        placed = [d for d in plane.decisions if d.governor == "placement"]
+        assert len(placed) == 1
+        assert placed[0].applied
+        analysis = bridge.analyses[0]
+        assert analysis.placement.offset == 1
+        assert analysis.placement.n_use == 3
+
+
+class FakeSender:
+    """Stands in for a ReliableSender: cumulative metrics + codec knob."""
+
+    def __init__(self):
+        self.metrics = TransportMetrics(role="sender", peer="test")
+        self.codec = get_codec("none")
+        self.switched = []
+
+    def set_codec(self, name):
+        self.codec = get_codec(name)
+        self.switched.append(name)
+
+    def ship(self, nbytes, bandwidth):
+        """Pretend to send ``nbytes`` over a ``bandwidth`` B/s link."""
+        m = self.metrics
+        wire = nbytes if self.codec.name == "none" else nbytes // 100
+        m.raw_bytes += nbytes
+        m.wire_bytes += wire
+        m.bytes_out += wire
+        from repro.transport.wire import SERIALIZE_BANDWIDTH
+
+        encode = nbytes / SERIALIZE_BANDWIDTH
+        if self.codec.name != "none":
+            encode += self.codec.compress_time(nbytes)
+        apparent = encode + wire / bandwidth
+        current_clock().advance(apparent)
+        return apparent
+
+
+class TestControlPlaneTransport:
+    def drive(self, plane, bandwidth, steps=6):
+        sender = FakeSender()
+        table = TableData("t")
+        table.add_host_column("x", np.zeros(4096))
+        for step in range(steps):
+            apparent = sender.ship(int(1 * MiB), bandwidth)
+            plane.observe_transport_step(
+                sender, step, apparent, table=table
+            )
+        return sender
+
+    def test_slow_link_switches_codec(self):
+        plane = ControlPlane(ControlConfig())
+        sender = self.drive(plane, bandwidth=gbs(0.02))
+        assert sender.switched == ["zlib"]
+        assert any(d.action == "codec=zlib" for d in plane.decisions)
+        obs = plane.signals.latest
+        assert obs.payload_bytes == int(1 * MiB)
+        assert obs.extras_dict["codec"] == "zlib"
+
+    def test_fast_link_keeps_raw(self):
+        plane = ControlPlane(ControlConfig())
+        sender = self.drive(plane, bandwidth=gbs(50.0))
+        assert sender.switched == []
+
+    def test_codec_off_means_no_governor(self):
+        cfg = ControlConfig.from_xml_attrs({"codec": "off"})
+        plane = ControlPlane(cfg)
+        sender = self.drive(plane, bandwidth=gbs(0.02))
+        assert sender.switched == []
+        assert plane.governors == []
+        assert plane.signals.pushed == 6  # still observing
+
+    def test_decisions_deterministic_for_identical_traffic(self):
+        def run():
+            plane = ControlPlane(ControlConfig(seed=11))
+            self.drive(plane, bandwidth=gbs(0.02))
+            return [(d.step, d.action) for d in plane.decisions]
+
+        assert run() == run()
+
+
+class TestChromeEvents:
+    def make_plane_with_decision(self):
+        plane = ControlPlane(ControlConfig())
+        bridge = Bridge()
+        bridge.initialize(analyses=[HeavyAnalysis(cost=0.5)])
+        bridge.attach_control(plane)
+        clk = current_clock()
+        for step in range(3):
+            clk.advance(1.0)
+            bridge.execute(make_adaptor(step))
+        bridge.finalize()
+        return plane
+
+    def test_instant_event_shape(self):
+        plane = self.make_plane_with_decision()
+        events = plane.chrome_instant_events()
+        assert events
+        ev = events[0]
+        assert ev["ph"] == "i" and ev["s"] == "g"
+        assert ev["cat"] == "control"
+        assert "execution" in ev["name"]
+        assert {"step", "reason", "applied"} <= set(ev["args"])
+
+    def test_events_ride_along_in_chrome_trace(self):
+        plane = self.make_plane_with_decision()
+        extra = plane.chrome_instant_events()
+        trace = chrome_trace([], extra_events=extra)
+        assert [e for e in trace if e.get("ph") == "i"] == extra

@@ -140,3 +140,65 @@ class TestAsyncRunner:
         ev.set()
         r.drain()
         assert not r.in_flight
+
+
+class TestAsyncRunnerAccounting:
+    """busy/tasks accounting and the drain clock rules (ISSUE 3)."""
+
+    def test_back_to_back_launches_accumulate(self):
+        r = AsyncRunner("t")
+        r.launch(lambda: current_clock().advance(0.5), start_time=0.0)
+        r.launch(lambda: current_clock().advance(0.25), start_time=1.0)
+        r.launch(lambda: current_clock().advance(0.75), start_time=2.0)
+        r.drain()
+        assert r.tasks_run == 3
+        assert r.busy_sim_time == pytest.approx(0.5 + 0.25 + 0.75)
+        assert r.last_end_time == pytest.approx(2.75)
+
+    def test_zero_cost_tasks_count_but_add_no_busy_time(self):
+        r = AsyncRunner("t")
+        for i in range(4):
+            r.launch(lambda: None, start_time=float(i))
+        r.drain()
+        assert r.tasks_run == 4
+        assert r.busy_sim_time == pytest.approx(0.0)
+
+    def test_drain_advances_clock_only_when_task_is_late(self):
+        clk = current_clock()
+        clk.advance(2.0)
+        r = AsyncRunner("t")
+        # Ends at sim 1.5 < caller's 2.0: drain must not move the clock.
+        r.launch(lambda: current_clock().advance(1.5), start_time=0.0)
+        r.drain()
+        assert clk.now == pytest.approx(2.0)
+        # Ends at sim 4.5 > caller's 2.0: drain waits exactly until then.
+        r.launch(lambda: current_clock().advance(2.5), start_time=2.0)
+        r.drain()
+        assert clk.now == pytest.approx(4.5)
+
+    def test_error_on_drain_then_runner_recovers(self):
+        """A failed task reports once; the lane stays usable after."""
+        r = AsyncRunner("t")
+        r.launch(lambda: current_clock().advance(0.5), start_time=0.0)
+        r.launch(lambda: 1 / 0, start_time=1.0)
+        with pytest.raises(ExecutionError) as exc_info:
+            r.drain()
+        assert isinstance(exc_info.value.__cause__, ZeroDivisionError)
+        # The error was consumed: subsequent work runs clean and the
+        # pre-failure accounting is preserved (failed task still counts
+        # as run).
+        r.drain()
+        assert r.tasks_run == 2
+        r.launch(lambda: current_clock().advance(0.5), start_time=2.0)
+        r.drain()
+        assert r.tasks_run == 3
+        assert r.busy_sim_time == pytest.approx(1.0)
+
+    def test_snapshot_is_consistent_triple(self):
+        r = AsyncRunner("t")
+        r.launch(lambda: current_clock().advance(0.5), start_time=1.0)
+        r.drain()
+        busy, tasks, end = r.snapshot()
+        assert busy == pytest.approx(r.busy_sim_time)
+        assert tasks == r.tasks_run
+        assert end == pytest.approx(r.last_end_time)

@@ -100,3 +100,32 @@ class TestDevicePlacement:
         assert PlacementMode.parse("auto") is PlacementMode.AUTO
         with pytest.raises(PlacementError):
             PlacementMode.parse("gpu")
+
+
+class TestStrideOffsetValidation:
+    """stride < 1 is a config error; negative offsets wrap (documented)."""
+
+    def test_stride_zero_rejected(self):
+        # stride=0 would silently collapse every rank onto offset.
+        with pytest.raises(PlacementError):
+            select_device(0, 4, stride=0)
+
+    def test_negative_stride_rejected(self):
+        with pytest.raises(PlacementError):
+            select_device(0, 4, stride=-1)
+
+    def test_auto_placement_validates_stride(self):
+        with pytest.raises(PlacementError):
+            DevicePlacement.auto(stride=0)
+        with pytest.raises(PlacementError):
+            DevicePlacement.auto(stride=-2)
+
+    def test_negative_offset_wraps(self):
+        # offset=-1 aims at the node's last device (Python % semantics).
+        assert select_device(0, 4, offset=-1) == 3
+        assert select_device(1, 4, offset=-1) == 0
+        assert select_device(0, 4, offset=-5) == 3  # wraps past a full turn
+
+    def test_negative_offset_through_placement(self):
+        p = DevicePlacement.auto(offset=-1)
+        assert p.resolve(0, n_available=4) == 3

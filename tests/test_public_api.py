@@ -34,6 +34,7 @@ class TestTopLevelImports:
 
     def test_subpackage_all_exports_resolve(self):
         import repro.binning
+        import repro.control
         import repro.harness
         import repro.hamr
         import repro.hw
@@ -44,8 +45,9 @@ class TestTopLevelImports:
         import repro.svtk
 
         for mod in (
-            repro.binning, repro.harness, repro.hamr, repro.hw, repro.mpi,
-            repro.newton, repro.pm, repro.sensei, repro.svtk,
+            repro.binning, repro.control, repro.harness, repro.hamr,
+            repro.hw, repro.mpi, repro.newton, repro.pm, repro.sensei,
+            repro.svtk,
         ):
             for name in mod.__all__:
                 assert getattr(mod, name) is not None, f"{mod.__name__}.{name}"

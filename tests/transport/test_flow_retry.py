@@ -5,6 +5,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import TransportError
 from repro.transport.flow import CreditWindow
@@ -73,3 +75,52 @@ class TestRetryPolicy:
             RetryPolicy(jitter=1.5)
         with pytest.raises(TransportError):
             RetryPolicy(ack_timeout=0.0)
+
+
+class TestBackoffCapProperty:
+    """The jittered delay must never exceed backoff_max.
+
+    Regression test: jitter used to be applied after the
+    ``min(..., backoff_max)`` clamp, so upward jitter let delays
+    escape the cap exactly on the attempts where the cap matters
+    (late, already-slow retries).
+    """
+
+    @given(
+        attempt=st.integers(1, 32),
+        seed=st.integers(0, 9999),
+        jitter=st.floats(0.0, 0.99),
+    )
+    def test_jittered_delay_never_exceeds_cap(self, attempt, seed, jitter):
+        p = RetryPolicy(
+            backoff_base=us(50.0), backoff_factor=2.0,
+            backoff_max=us(500.0), jitter=jitter,
+        )
+        d = p.backoff(attempt, random.Random(seed))
+        assert 0.0 <= d <= p.backoff_max
+
+    @given(attempt=st.integers(1, 32), seed=st.integers(0, 9999))
+    def test_cap_binds_at_saturation(self, attempt, seed):
+        """Once the curve saturates, downward jitter is still allowed."""
+        p = RetryPolicy(
+            backoff_base=us(400.0), backoff_factor=4.0,
+            backoff_max=us(500.0), jitter=0.25,
+        )
+        d = p.backoff(attempt, random.Random(seed))
+        assert d <= p.backoff_max
+        if attempt >= 2:
+            # Deep in saturation the floor is (1-jitter)*max when the
+            # unclamped curve is far above the cap.
+            assert d >= (1.0 - p.jitter) * p.backoff_max
+
+    def test_unjittered_matches_clamped_curve(self):
+        p = RetryPolicy(
+            backoff_base=us(50.0), backoff_factor=10.0,
+            backoff_max=us(100.0), jitter=0.0,
+        )
+        for attempt in range(1, 6):
+            expected = min(
+                p.backoff_base * p.backoff_factor ** (attempt - 1),
+                p.backoff_max,
+            )
+            assert p.backoff(attempt) == pytest.approx(expected)

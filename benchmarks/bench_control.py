@@ -18,6 +18,16 @@ static configuration it chooses between:
   pays); adaptive starts lockstep and must track the winner at both
   ends.
 
+- **Crowding sweep** (cluster placement governor): N SPMD ranks all
+  aimed at device 0 by Eq. 1 while background load pins devices 1 and
+  2.  The per-rank placement governor sees only its own view, so every
+  rank flees to the *same* calm device and the crowd just moves
+  (flapping forever at dilated cost); the coordinated governor
+  allreduces the load vectors, detects the crowding, and re-aims all
+  ranks with one node-consistent placement that spreads them.
+  Coordinated must converge to a non-overlapping assignment within 5
+  control rounds and beat per-rank on total in situ time.
+
 Every governor decision is also emitted as a Chrome-trace instant
 event (``--trace`` writes the JSON), so the switches are visible on
 the same timeline as the work they re-routed.
@@ -39,13 +49,16 @@ from repro.hamr.pool import reset_pools
 from repro.hamr.runtime import current_clock, set_active_device, set_current_clock
 from repro.hamr.stream import reset_default_streams
 from repro.hw.clock import SimClock
-from repro.hw.node import reset_node
+from repro.hw.contention import ContentionModel, SharedResource
+from repro.hw.node import VirtualNode, reset_node, set_node
+from repro.hw.spec import NodeSpec
 from repro.hw.trace import chrome_trace
-from repro.mpi.comm import CommCostModel
+from repro.mpi.comm import CommCostModel, run_spmd
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.bridge import Bridge
 from repro.sensei.data_adaptor import TableDataAdaptor
 from repro.sensei.intransit import InTransitLayout, run_in_transit
+from repro.sensei.placement import DevicePlacement
 from repro.svtk.table import TableData
 from repro.transport import TransportConfig
 from repro.units import gbs, us
@@ -195,6 +208,138 @@ def mode_sweep(costs, steps=MODE_STEPS):
     return table, events
 
 
+# -- crowding sweep ----------------------------------------------------------------
+
+CROWD_STEPS = 40
+CROWD_DEVICES = 4
+CROWD_BG = {1: 1.25, 2: 1.25}  # external load pinned to devices 1 and 2
+CROWD_BASE = 0.5               # busy fraction each rank adds to its device
+CONVERGENCE_ROUNDS = 5
+FULL_RANKS = (2, 3, 4)
+
+
+class IdleAnalysis(AnalysisAdaptor):
+    """Does no work of its own; its Eq. 1 placement is what's governed."""
+
+    def __init__(self):
+        super().__init__("idle")
+        self.set_placement(DevicePlacement.auto(n_use=1))  # all ranks -> 0
+
+    def acquire(self, data, deep):
+        return None
+
+    def process(self, payload, comm, device_id):
+        pass
+
+
+def _crowding_control(mode: str) -> ControlConfig:
+    attrs = {"execution": "off", "codec": "off", "pool": "off"}
+    if mode == "coordinated":
+        attrs["coordination"] = "node"
+    return ControlConfig.from_xml_attrs(attrs)
+
+
+def run_crowding_point(mode: str, ranks: int, steps: int = CROWD_STEPS):
+    """One N-rank SPMD run; returns (total in situ time, first clean
+    step, instant events).
+
+    ``mode`` is ``static`` (no control), ``per-rank`` (each rank its own
+    :class:`PlacementGovernor`), or ``coordinated`` (the cluster
+    governor).  In situ cost per rank per step is ``CROWD_BASE`` dilated
+    by the parties sharing its device (co-resolved ranks plus pinned
+    background); the same node view feeds the governors, so the
+    comparison is closed-form and deterministic.
+    """
+    fresh_substrate(f"crowd-{mode}-{ranks}")
+    set_node(VirtualNode(NodeSpec().with_devices(CROWD_DEVICES)))
+    cfg = _crowding_control(mode)
+
+    def rank_main(comm):
+        contention = ContentionModel()
+        bridge = Bridge()
+        analysis = IdleAnalysis()
+        bridge.initialize(analyses=[analysis])
+        plane = None
+        if mode != "static":
+            plane = ControlPlane(cfg, comm=comm)
+            bridge.attach_control(plane)
+            plane.wire_bridge(bridge)
+        insitu_total = 0.0
+        first_clean = None
+        clk = current_clock()
+        for step in range(steps):
+            clk.advance(SOLVER_STEP_TIME)
+            current = analysis.placement.resolve(
+                comm.rank, n_available=CROWD_DEVICES
+            )
+            assignment = comm.allgather(current)
+            counts = {d: assignment.count(d) for d in set(assignment)}
+            if first_clean is None and len(set(assignment)) == len(assignment):
+                first_clean = step
+            parties = counts[current] - 1 + (1 if current in CROWD_BG else 0)
+            cost = CROWD_BASE * contention.dilation(
+                SharedResource.GPU_COMPUTE, parties
+            )
+            clk.advance(cost)
+            insitu_total += cost
+            if plane is not None:
+                loads = dict(CROWD_BG)
+                for d, c in counts.items():
+                    dil = contention.dilation(
+                        SharedResource.GPU_COMPUTE,
+                        c - 1 + (1 if d in CROWD_BG else 0),
+                    )
+                    loads[d] = loads.get(d, 0.0) + c * CROWD_BASE * dil
+                plane.observe_device_loads(step, loads, self_load=cost)
+        events = plane.chrome_instant_events() if plane is not None else []
+        return insitu_total, first_clean, events
+
+    results = run_spmd(ranks, rank_main)
+    total = sum(r[0] for r in results)
+    first_clean = results[0][1]
+    events = [e for r in results for e in r[2]]
+    return total, first_clean, events
+
+
+def crowding_sweep(rank_counts, steps=CROWD_STEPS):
+    """({ranks: {mode: in situ time}}, {ranks: first clean step}, events)."""
+    table = {}
+    firsts = {}
+    events = []
+    for ranks in rank_counts:
+        row = {}
+        for mode in ("static", "per-rank", "coordinated"):
+            total, first, evs = run_crowding_point(mode, ranks, steps)
+            row[mode] = total
+            if mode == "coordinated":
+                firsts[ranks] = first
+            events.extend(evs)
+        table[ranks] = row
+    return table, firsts, events
+
+
+def check_crowding(table, firsts, events):
+    """Coordinated beats per-rank, converges fast, and logs crowding."""
+    failures = []
+    for ranks in sorted(table):
+        row = table[ranks]
+        if row["coordinated"] >= row["per-rank"]:
+            failures.append(
+                f"ranks={ranks}: coordinated {row['coordinated']:.4g}s is "
+                f"not better than per-rank {row['per-rank']:.4g}s"
+            )
+        first = firsts.get(ranks)
+        if first is None or first > CONVERGENCE_ROUNDS:
+            failures.append(
+                f"ranks={ranks}: coordinated never reached a "
+                f"non-overlapping assignment within {CONVERGENCE_ROUNDS} "
+                f"control rounds (first clean step: {first})"
+            )
+    if not any("crowding" in e["name"] for e in events):
+        failures.append("crowding sweep never logged a crowding event")
+    return failures
+
+
 # -- scoring -----------------------------------------------------------------------
 
 
@@ -216,47 +361,64 @@ def check_ends(table, statics, label):
     return failures
 
 
-def format_table(table, statics, label):
-    lines = [f"  {label:>10}  " + "".join(f"{s:>14}" for s in statics + ["adaptive"])]
+def format_table(table, columns, label):
+    lines = [f"  {label:>10}  " + "".join(f"{s:>14}" for s in columns)]
     for point in sorted(table):
         row = table[point]
         lines.append(
             f"  {point:>10g}  "
-            + "".join(f"{row[s]:>14.4g}" for s in statics + ["adaptive"])
+            + "".join(f"{row[s]:>14.4g}" for s in columns)
         )
     return "\n".join(lines)
 
 
-def run_all(quick: bool):
+def run_all(quick: bool, ranks: int = 2):
     bandwidths = QUICK_BANDWIDTHS if quick else FULL_BANDWIDTHS
     costs = QUICK_COSTS if quick else FULL_COSTS
+    rank_counts = (ranks,) if quick else tuple(sorted({*FULL_RANKS, ranks}))
     codec_table, codec_events = codec_sweep(bandwidths)
     mode_table, mode_events = mode_sweep(costs)
+    crowd_table, crowd_firsts, crowd_events = crowding_sweep(rank_counts)
     failures = check_ends(codec_table, ["none", "zlib"], "GB/s")
     failures += check_ends(
         mode_table, ["lockstep", "asynchronous"], "cost"
     )
+    failures += check_crowding(crowd_table, crowd_firsts, crowd_events)
     if not codec_events:
         failures.append("codec sweep produced no governor decisions")
     if not mode_events:
         failures.append("mode sweep produced no governor decisions")
-    return codec_table, mode_table, codec_events + mode_events, failures
+    events = codec_events + mode_events + crowd_events
+    return codec_table, mode_table, crowd_table, crowd_firsts, events, failures
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--quick", action="store_true",
                     help="sweep endpoints only (CI smoke mode)")
+    ap.add_argument("--ranks", type=int, default=2, metavar="N",
+                    help="SPMD rank count for the crowding sweep "
+                         "(default 2)")
     ap.add_argument("--trace", metavar="PATH",
                     help="write decisions as a Chrome trace JSON")
     args = ap.parse_args(argv)
 
-    codec_table, mode_table, events, failures = run_all(args.quick)
+    codec_table, mode_table, crowd_table, crowd_firsts, events, failures = (
+        run_all(args.quick, ranks=args.ranks)
+    )
 
     print("link-quality sweep (total producer ship time, simulated s):")
-    print(format_table(codec_table, ["none", "zlib"], "GB/s"))
+    print(format_table(codec_table, ["none", "zlib", "adaptive"], "GB/s"))
     print("\nstep-cost sweep (total run time, simulated s):")
-    print(format_table(mode_table, ["lockstep", "asynchronous"], "cost"))
+    print(format_table(
+        mode_table, ["lockstep", "asynchronous", "adaptive"], "cost"
+    ))
+    print("\ncrowding sweep (total in situ time, simulated s):")
+    print(format_table(
+        crowd_table, ["static", "per-rank", "coordinated"], "ranks"
+    ))
+    print("  coordinated convergence (first non-overlapping step): "
+          + ", ".join(f"ranks={r}: {s}" for r, s in sorted(crowd_firsts.items())))
     print(f"\ngovernor decisions: {len(events)}")
 
     if args.trace:
@@ -270,7 +432,8 @@ def main(argv=None) -> int:
             print(f"  - {line}")
         return 1
     print(f"\nOK: adaptive within {TOLERANCE:.2f}x of best static at "
-          "both ends of both sweeps")
+          "both ends of both sweeps, and coordinated placement beat "
+          "per-rank on the crowding sweep")
     return 0
 
 
@@ -299,6 +462,21 @@ def test_mode_sweep_ends(benchmark):
     assert any(e["ph"] == "i" for e in events)
     heavy = max(table)
     assert table[heavy]["asynchronous"] < table[heavy]["lockstep"]
+    benchmark.extra_info["decisions"] = len(events)
+
+
+def test_crowding_sweep_coordinated_beats_per_rank(benchmark):
+    table, firsts, events = benchmark.pedantic(
+        lambda: crowding_sweep((2, 4)), rounds=1, iterations=1,
+    )
+    assert not check_crowding(table, firsts, events)
+    for ranks in (2, 4):
+        row = table[ranks]
+        # Per-rank governors flap between calm devices and never beat
+        # the crowd; coordination spreads the ranks and wins outright.
+        assert row["coordinated"] < row["per-rank"] <= row["static"]
+        assert firsts[ranks] <= CONVERGENCE_ROUNDS
+    assert any("crowding" in e["name"] for e in events)
     benchmark.extra_info["decisions"] = len(events)
 
 

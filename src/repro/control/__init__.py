@@ -21,7 +21,13 @@ narrow actuator hooks:
   signal shows overload (``AnalysisAdaptor.set_placement``);
 - :class:`~repro.control.governors.PoolTrimGovernor` — trims
   stream-ordered memory pools above a high watermark
-  (``MemoryPool.trim_above``).
+  (``MemoryPool.trim_above``);
+- :class:`~repro.control.cluster.ClusterPlacementGovernor` — the
+  cross-rank variant of placement control: device-load vectors are
+  allreduced over the plane's communicator each coordination round, so
+  all ranks apply one node-consistent Eq. 1 re-aim on the same step
+  and neighbor ranks crowding onto one device are detected
+  (``<control coordination="node">``).
 
 A :class:`~repro.control.plan.ControlPlane` owns the governors, the
 signal ring buffer, and the decision log; every decision is also
@@ -32,6 +38,7 @@ with per-governor enable/freeze.  With no control plane attached,
 behavior is bit-identical to the static configuration.
 """
 
+from repro.control.cluster import ClusterPlacementGovernor
 from repro.control.governors import (
     CodecGovernor,
     Decision,
@@ -45,6 +52,7 @@ from repro.control.policy import EWMA, DiscountedUCB, Hysteresis
 from repro.control.signals import SignalBuffer, StepObservation
 
 __all__ = [
+    "ClusterPlacementGovernor",
     "CodecGovernor",
     "ControlConfig",
     "ControlPlane",

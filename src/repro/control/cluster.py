@@ -1,0 +1,247 @@
+"""Cross-rank placement coordination: the cluster placement governor.
+
+:class:`~repro.control.governors.PlacementGovernor` evaluates Eq. 1
+per rank, which leaves a blind spot the ROADMAP names: two ranks on
+one node can independently "flee" an overloaded device to the *same*
+calm one and crowd it — each rank's local view says the move is good,
+and neither can see the other deciding the same thing.  The
+:class:`ClusterPlacementGovernor` closes that loop collectively:
+
+1. every participating rank contributes a per-device load vector
+   (busy fraction dilated by contention sharers, its own contribution
+   to its current device, resident pool bytes, and a one-hot of the
+   device Eq. 1 currently resolves to for it);
+2. one :meth:`~repro.mpi.comm.Communicator.coordinated_allreduce`
+   folds the vectors — the epoch counter turns cadence skew between
+   ranks into a structured error instead of a deadlock;
+3. every rank derives the *same* external-load picture (node busy
+   minus what the governed ranks themselves contribute — the load that
+   will not move when they do), detects **crowding** (>= 2 ranks
+   resolved to one device while another sits idle), and, when
+   triggered, computes the *same* node-consistent re-aim through
+   :func:`repro.sensei.placement.reaim` — new Eq. 1
+   ``n_use``/``stride``/``offset`` whose rank image spreads the
+   participants over the calmest devices.
+
+Because the aggregated vector, the trigger, and the re-aim rule are
+pure functions of the allreduced data, all ranks apply the identical
+:class:`~repro.sensei.placement.DevicePlacement` on the same step —
+per-rank Eq. 1 resolution then fans them out across the target set
+instead of piling them onto one device.  Crowding findings are logged
+as decisions (and therefore exported as Chrome-trace instant events by
+:meth:`~repro.control.plan.ControlPlane.chrome_instant_events`) even
+when no re-aim results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.control.governors import Decision, Governor
+from repro.hw.contention import ContentionModel, SharedResource
+from repro.hw.node import num_devices
+from repro.mpi.comm import Communicator
+from repro.sensei.placement import DevicePlacement, reaim
+
+__all__ = ["ClusterPlacementGovernor"]
+
+
+class ClusterPlacementGovernor(Governor):
+    """Allreduce-coordinated Eq. 1 re-aim, node-consistent across ranks.
+
+    One instance lives on each participating rank; :meth:`coordinate`
+    is **collective** — every rank of ``comm`` must call it with the
+    same step, the way ranks call any blocking collective together.
+    ``resident_weight`` folds resident pool bytes into the device
+    score (a device whose pool hoards memory is a worse target even
+    when idle); ``overload`` is the re-aim trigger threshold relative
+    to the node-mean external load, matching the per-rank governor's
+    knob.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        comm: Communicator,
+        actuator: Callable[[DevicePlacement], None] | None = None,
+        rank: int | None = None,
+        base: DevicePlacement | None = None,
+        n_devices: int | None = None,
+        overload: float = 1.30,
+        resident_weight: float = 0.25,
+        contention: ContentionModel | None = None,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        self.comm = comm
+        self.rank = comm.rank if rank is None else int(rank)
+        self.placement = base if base is not None else DevicePlacement.auto()
+        self.n_devices = (
+            int(n_devices) if n_devices is not None else num_devices()
+        )
+        self.overload = float(overload)
+        self.resident_weight = float(resident_weight)
+        self.contention = (
+            contention if contention is not None else ContentionModel()
+        )
+        self._loads: dict[int, float] = {}
+        self._parties: dict[int, int] = {}
+        self._resident: dict[int, int] = {}
+        self._self_load = 0.0
+        #: Crowding findings from the latest round (reporting access).
+        self.last_crowding: Decision | None = None
+        self.rounds = 0
+
+    # -- sensors ---------------------------------------------------------------
+    def observe(
+        self,
+        step: int,
+        loads: Mapping[int, float],
+        parties: Mapping[int, int] | None = None,
+        self_load: float = 0.0,
+        resident_bytes: Mapping[int, int] | None = None,
+    ) -> None:
+        """This rank's latest per-device measurements.
+
+        ``loads`` are node-wide busy fractions as this rank sees them;
+        ``self_load`` is the slice of its *own* current device's busy
+        fraction this rank itself produced (the load that moves with
+        it); ``resident_bytes`` is per-device resident pool footprint.
+        """
+        self._loads = {int(d): float(v) for d, v in loads.items()}
+        self._parties = (
+            {int(d): int(v) for d, v in parties.items()} if parties else {}
+        )
+        self._self_load = max(0.0, float(self_load))
+        self._resident = (
+            {int(d): int(v) for d, v in resident_bytes.items()}
+            if resident_bytes
+            else {}
+        )
+
+    # -- the collective round -----------------------------------------------------
+    def _local_vector(self, current: int) -> np.ndarray:
+        """[busy(n) | self(n) | resident(n) | one-hot(n) | participation]."""
+        n = self.n_devices
+        vec = np.zeros(4 * n + 1)
+        for d in range(n):
+            sharers = max(0, self._parties.get(d, 1) - 1)
+            dil = self.contention.dilation(SharedResource.GPU_COMPUTE, sharers)
+            vec[d] = self._loads.get(d, 0.0) * dil
+            vec[2 * n + d] = float(self._resident.get(d, 0))
+            if d == current:
+                vec[n + d] = self._self_load * dil
+        if 0 <= current < n:
+            vec[3 * n + current] = 1.0
+        vec[4 * n] = 1.0
+        return vec
+
+    def coordinate(self, step: int, t: float | None = None) -> list[Decision]:
+        """One coordination round; returns the decisions to log.
+
+        Collective over ``comm`` — every rank calls with the same step.
+        Disabled governors still participate (contributing zeros and
+        never re-aiming) so enable-state mismatches between ranks show
+        up as epoch skew, not a hang.
+        """
+        n = self.n_devices
+        current = (
+            self.placement.resolve(self.rank, n_available=n)
+            if self.enabled
+            else -1
+        )
+        local = (
+            self._local_vector(current)
+            if self.enabled
+            else np.zeros(4 * n + 1)
+        )
+        total = self.comm.coordinated_allreduce(local, op="sum")
+        self.rounds += 1
+        if not self.enabled:
+            return []
+        ranks_total = int(round(total[4 * n]))
+        if ranks_total < 1:
+            return []
+        busy_mean = total[:n] / ranks_total
+        self_sum = total[n : 2 * n]
+        resident = total[2 * n : 3 * n]
+        counts = total[3 * n : 4 * n]
+        # External load: what stays on a device when the governed ranks
+        # move off it.  Resident pool bytes tip ties toward devices
+        # with headroom.
+        external = np.maximum(0.0, busy_mean - self_sum)
+        resident_total = float(resident.sum())
+        score = external + (
+            self.resident_weight * resident / resident_total
+            if resident_total > 0
+            else 0.0
+        )
+
+        decisions: list[Decision] = []
+        crowded = [
+            (d, int(round(counts[d]))) for d in range(n) if counts[d] >= 2
+        ]
+        idle = [d for d in range(n) if counts[d] == 0]
+        self.last_crowding = None
+        if crowded and idle:
+            self.last_crowding = self._decision(
+                step,
+                t,
+                "crowding",
+                f"devices {[d for d, _c in crowded]} carry >=2 ranks each "
+                f"while {idle} sit idle",
+                applied=False,
+                crowded=tuple(crowded),
+                idle=tuple(idle),
+                counts=tuple(int(round(c)) for c in counts),
+            )
+            decisions.append(self.last_crowding)
+
+        mean_score = float(score.mean())
+        occupied = [d for d in range(n) if counts[d] > 0]
+        overloaded = [
+            d for d in occupied if mean_score > 0
+            and score[d] > self.overload * mean_score
+        ]
+        if not (crowded and idle) and not overloaded:
+            return decisions
+        k = min(ranks_total, n)
+        order = sorted(range(n), key=lambda d: (score[d], d))
+        targets = order[:k]
+        proposal = reaim(targets, n_available=n)
+        if proposal == self.placement:
+            return decisions
+        applied = self._actuate(proposal)
+        previous = self.placement
+        if applied:
+            self.placement = proposal
+        decisions.append(
+            self._decision(
+                step,
+                t,
+                f"placement=auto(n_use={proposal.n_use}, "
+                f"stride={proposal.stride}, offset={proposal.offset})",
+                f"coordinated re-aim over {ranks_total} ranks: targets "
+                f"{targets} (external loads "
+                f"{[round(float(s), 3) for s in score]})",
+                applied,
+                previous=(
+                    f"auto(n_use={previous.n_use}, stride={previous.stride}, "
+                    f"offset={previous.offset})"
+                ),
+                targets=tuple(targets),
+                ranks=ranks_total,
+                crowding=bool(crowded and idle),
+            )
+        )
+        return decisions
+
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        """Collective; see :meth:`coordinate`.  Returns the re-aim (if any)."""
+        out = self.coordinate(step, t)
+        reaims = [d for d in out if d.action.startswith("placement=")]
+        return reaims[-1] if reaims else None

@@ -13,6 +13,7 @@ Configuration is the ``<control>`` element::
     <sensei>
       <control enabled="1" seed="0" interval="1" window="64"
                codec="on" execution="freeze" placement="off" pool="on"
+               coordination="node" coordination_interval="4"
                mode_low="0.05" mode_high="0.15" codec_margin="1.05"
                overload="1.3" pool_watermark_kib="1024"/>
       ...
@@ -21,6 +22,18 @@ Configuration is the ``<control>`` element::
 Each governor attribute takes ``on`` (closed loop), ``freeze``
 (observe and log decisions but never actuate — a dry run), or ``off``
 (not even created).
+
+``coordination="node"`` replaces the per-rank placement governor with
+the allreduce-coordinated
+:class:`~repro.control.cluster.ClusterPlacementGovernor`: device-load
+rounds every ``interval * coordination_interval`` steps are collective
+over the plane's communicator, so every rank applies the same Eq. 1
+re-aim on the same step (and crowding — several ranks resolved onto
+one device while another idles — is detected and logged).  A plane
+coordinating needs its communicator: pass ``comm=`` at construction,
+call :meth:`ControlPlane.attach_comm`, or let ``wire_bridge`` pick it
+up from the bridge.  The ``placement`` setting still gates the
+mechanism (``freeze`` dry-runs coordination, ``off`` disables it).
 """
 
 from __future__ import annotations
@@ -102,12 +115,23 @@ class ControlConfig:
     codec_margin: float = 1.05  # predicted-cost ratio needed to switch
     overload: float = 1.30     # placement rebalance threshold (x mean)
     pool_watermark_kib: float | None = None
+    coordination: str = "off"  # "node": cross-rank placement rounds
+    coordination_interval: int = 1  # rounds every N-th decision interval
 
     def __post_init__(self):
         if self.interval < 1:
             raise ConfigError(f"interval must be >= 1: {self.interval}")
         if self.window < 1:
             raise ConfigError(f"window must be >= 1: {self.window}")
+        if self.coordination not in ("off", "node"):
+            raise ConfigError(
+                f"coordination must be 'node' or 'off': {self.coordination!r}"
+            )
+        if self.coordination_interval < 1:
+            raise ConfigError(
+                f"coordination_interval must be >= 1: "
+                f"{self.coordination_interval}"
+            )
         if self.mode_low > self.mode_high:
             raise ConfigError(
                 f"need mode_low <= mode_high: "
@@ -155,6 +179,7 @@ class ControlConfig:
                 GovernorSetting.parse(raw) if raw is not None else _ON
             )
         watermark = _num("pool_watermark_kib", None, float)
+        coordination = attrs.pop("coordination", "off").strip().lower()
         config = cls(
             enabled=enabled,
             seed=_num("seed", 0, int),
@@ -165,6 +190,8 @@ class ControlConfig:
             codec_margin=_num("codec_margin", 1.05, float),
             overload=_num("overload", 1.30, float),
             pool_watermark_kib=watermark,
+            coordination=coordination,
+            coordination_interval=_num("coordination_interval", 1, int),
             **settings,
         )
         if attrs:
@@ -218,15 +245,24 @@ class ControlPlane:
     :meth:`repro.sensei.intransit.InTransitBridge.attach_control`; the
     taps wire governors lazily on first observation, so attachment
     order does not matter.
+
+    ``comm`` is this rank's communicator over the ranks that
+    coordinate (``coordination="node"``); the taps carry it to the
+    cluster governor.  Left None, ``wire_bridge`` adopts the bridge's
+    communicator on first observation.
     """
 
-    def __init__(self, config: ControlConfig | None = None):
+    def __init__(
+        self, config: ControlConfig | None = None, comm=None
+    ):
         self.config = config if config is not None else ControlConfig()
         self.signals = SignalBuffer(self.config.window)
         self.decisions: list[Decision] = []
         self.governors: list[Governor] = []
+        self._comm = comm
         self._mode_governor: ExecutionModeGovernor | None = None
         self._placement_governor: PlacementGovernor | None = None
+        self._cluster_governor = None  # ClusterPlacementGovernor | None
         self._codec_governors: dict[int, CodecGovernor] = {}
         self._pool_governors: dict[int, PoolTrimGovernor] = {}
         # Per-tap bookkeeping for delta extraction.
@@ -237,6 +273,29 @@ class ControlPlane:
     @property
     def enabled(self) -> bool:
         return self.config.enabled
+
+    @property
+    def coordinating(self) -> bool:
+        """True when cross-rank placement rounds are configured."""
+        return (
+            self.enabled
+            and self.config.coordination == "node"
+            and self.config.placement.enabled
+        )
+
+    def attach_comm(self, comm) -> None:
+        """Bind the communicator coordination rounds run over.
+
+        Must happen before the cluster governor is wired (i.e. before
+        the first bridge/load observation); once rounds have started
+        the communicator cannot change under them.
+        """
+        if self._cluster_governor is not None and comm is not self._comm:
+            raise ConfigError(
+                "cannot change the coordination communicator after the "
+                "cluster governor is wired"
+            )
+        self._comm = comm
 
     def _log(self, decision: Decision | None) -> Decision | None:
         if decision is not None:
@@ -269,7 +328,8 @@ class ControlPlane:
                 frozen=cfg.execution.frozen,
             )
             self.governors.append(self._mode_governor)
-        if cfg.placement.enabled and self._placement_governor is None:
+        if cfg.placement.enabled and self._placement_governor is None \
+                and self._cluster_governor is None:
             analyses = bridge.analyses
 
             def set_placement(placement):
@@ -277,15 +337,28 @@ class ControlPlane:
                     a.set_placement(placement)
 
             base = analyses[0].placement if analyses else None
-            rank = getattr(getattr(bridge, "_comm", None), "rank", 0)
-            self._placement_governor = PlacementGovernor(
-                actuator=set_placement,
-                rank=rank,
-                base=base,
-                overload=cfg.overload,
-                frozen=cfg.placement.frozen,
-            )
-            self.governors.append(self._placement_governor)
+            comm = self._comm or getattr(bridge, "_comm", None)
+            if self.coordinating and comm is not None:
+                from repro.control.cluster import ClusterPlacementGovernor
+
+                self._cluster_governor = ClusterPlacementGovernor(
+                    comm,
+                    actuator=set_placement,
+                    base=base,
+                    overload=cfg.overload,
+                    frozen=cfg.placement.frozen,
+                )
+                self.governors.append(self._cluster_governor)
+            else:
+                rank = getattr(comm, "rank", 0)
+                self._placement_governor = PlacementGovernor(
+                    actuator=set_placement,
+                    rank=rank,
+                    base=base,
+                    overload=cfg.overload,
+                    frozen=cfg.placement.frozen,
+                )
+                self.governors.append(self._placement_governor)
 
     def wire_sender(self, sender) -> CodecGovernor | None:
         """Create (or return) the codec governor for one sender."""
@@ -434,22 +507,44 @@ class ControlPlane:
         step: int,
         loads: Mapping[int, float],
         parties: Mapping[int, int] | None = None,
+        self_load: float = 0.0,
+        resident_bytes: Mapping[int, int] | None = None,
     ) -> None:
         """Feed per-device busy fractions to the placement governor.
 
         Harness code (or a benchmark) computes the loads from device
         timeline utilization over its window of interest; the plane
-        does not guess at them.
+        does not guess at them.  Under ``coordination="node"`` this tap
+        is **collective**: every coordinating rank must call it each
+        step (``self_load`` is this rank's own contribution to its
+        current device; ``resident_bytes`` the per-device pool
+        footprint), and on coordination-due steps the cluster
+        governor's allreduce round runs here.
         """
-        if not self.enabled or self._placement_governor is None:
+        if not self.enabled:
+            return
+        t = current_clock().now
+        if self._cluster_governor is not None:
+            self._cluster_governor.observe(
+                step,
+                loads,
+                parties=parties,
+                self_load=self_load,
+                resident_bytes=resident_bytes,
+            )
+            if self._coordination_due(step):
+                for d in self._cluster_governor.coordinate(step, t=t):
+                    self._log(d)
+            return
+        if self._placement_governor is None:
             return
         self._placement_governor.observe(step, loads, parties=parties)
         if self._due(step):
-            self._log(
-                self._placement_governor.decide(
-                    step, t=current_clock().now
-                )
-            )
+            self._log(self._placement_governor.decide(step, t=t))
+
+    def _coordination_due(self, step: int) -> bool:
+        period = self.config.interval * self.config.coordination_interval
+        return step % period == 0
 
     def _decide_pools(self, step: int, t: float) -> None:
         for gov in self._pool_governors.values():

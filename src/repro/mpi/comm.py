@@ -172,6 +172,55 @@ class Communicator:
         out = self.allreduce(np.ascontiguousarray(array), op=op)
         return np.asarray(out)
 
+    # -- control-plane coordination ----------------------------------------------
+    #: Coordination rounds completed on this endpoint (see below).
+    _coordination_epoch: int = 0
+
+    @property
+    def coordination_epoch(self) -> int:
+        """Number of :meth:`coordinated_allreduce` rounds completed."""
+        return self._coordination_epoch
+
+    def coordinated_allreduce(
+        self, array: np.ndarray, op: str = "sum"
+    ) -> np.ndarray:
+        """Epoch-checked buffer allreduce for control-plane rounds.
+
+        Coordination rounds (cross-rank governor decisions) interleave
+        with transport point-to-point traffic and application
+        collectives.  A rank that enters round ``k`` while a peer is
+        still on round ``k - 1`` must fail fast instead of silently
+        folding vectors from different rounds — or, worse, parking in
+        a blocking collective that deadlocks against a peer waiting on
+        transport progress.  Every call therefore increments a
+        per-endpoint epoch counter and ships it alongside the payload
+        in a *single* exchange (nonblocking-friendly: one rendezvous,
+        no extra barrier for the check); any disagreement raises a
+        structured :class:`~repro.errors.MPIError` naming the epochs
+        seen, which is the caller's signal that governor cadences have
+        skewed across ranks.
+        """
+        self._coordination_epoch += 1
+        epoch = self._coordination_epoch
+        payload = np.ascontiguousarray(array)
+        board = self.allgather((epoch, payload))
+        epochs = [e for e, _v in board]
+        if len(set(epochs)) > 1:
+            raise MPIError(
+                f"rank {self.rank}: coordination round skew — peers "
+                f"disagree on the allreduce epoch ({sorted(set(epochs))})",
+                details={
+                    "rank": self.rank,
+                    "epoch": epoch,
+                    "epochs": epochs,
+                },
+            )
+        fn = self._reducer(op)
+        acc = np.array(board[0][1], copy=True)
+        for _e, contribution in board[1:]:
+            acc = fn(acc, np.asarray(contribution))
+        return np.asarray(acc)
+
     def dup(self) -> "Communicator":
         """Duplicate the communicator (``MPI_Comm_dup``).
 

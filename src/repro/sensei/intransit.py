@@ -329,7 +329,11 @@ def run_in_transit(
             if control is not None:
                 from repro.control.plan import ControlPlane
 
-                bridge.attach_control(ControlPlane(control))
+                # The plane coordinates over the producers' own
+                # sub-communicator: cross-rank placement rounds must
+                # never rendezvous with endpoint ranks, whose recv
+                # loops are busy with transport traffic.
+                bridge.attach_control(ControlPlane(control, comm=sim_comm))
             bridge.initialize(comm)
             try:
                 result = producer_main(sim_comm, bridge)

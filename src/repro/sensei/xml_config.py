@@ -9,7 +9,8 @@ attributes.  The schema::
       <transport compression="zlib" chunk_kib="64" max_inflight="8"
                  retries="8" partitioner="block"/>
       <control enabled="1" codec="on" execution="freeze"
-               placement="off" pool="on" interval="1" seed="0"/>
+               placement="off" pool="on" interval="1" seed="0"
+               coordination="node" coordination_interval="4"/>
       <analysis type="data_binning" enabled="1" mesh="bodies"
                 axes="x,y" bins="256,256"
                 variables="mass:sum,vx:average"
@@ -26,8 +27,9 @@ ignored by purely in situ runs.  At most one ``<control>`` element
 configures the adaptive control plane (see
 :class:`repro.control.plan.ControlConfig`) — each governor attribute
 takes ``on``, ``off``, or ``freeze`` (observe and log, never actuate);
-without the element no control plane exists and every knob keeps its
-static setting.
+``coordination="node"`` upgrades placement control to the
+allreduce-coordinated cross-rank governor.  Without the element no
+control plane exists and every knob keeps its static setting.
 
 Common attributes (every ``<analysis>``):
 

@@ -164,75 +164,88 @@ class HeavyAnalysis(AnalysisAdaptor):
 
 
 class TestControlPlaneBridge:
-    def run_bridge(self, plane, steps=6, cost=0.5):
-        bridge = Bridge()
-        heavy = HeavyAnalysis(cost=cost)
-        bridge.initialize(analyses=[heavy])
-        if plane is not None:
-            bridge.attach_control(plane)
-        clk = current_clock()
-        for step in range(steps):
-            clk.advance(1.0)  # the solver
-            bridge.execute(make_adaptor(step))
-        bridge.finalize()
-        return heavy
+    """Single-rank bridge scenarios on the shared ``spmd_control`` fixture.
 
-    def test_heavy_insitu_flips_to_asynchronous(self):
-        plane = ControlPlane(ControlConfig())
-        heavy = self.run_bridge(plane)
+    Each scenario runs as a 1-rank SPMD program: the fixture supplies
+    the communicator, a fresh seeded clock, and the rank's control
+    plane, exactly as the multi-rank coordination tests do.
+    """
+
+    def run_bridge(self, spmd_control, config, steps=6, cost=0.5):
+        def body(comm, plane):
+            bridge = Bridge()
+            heavy = HeavyAnalysis(cost=cost)
+            bridge.initialize(analyses=[heavy])
+            if plane is not None:
+                bridge.attach_control(plane)
+            clk = current_clock()
+            start = clk.now
+            for step in range(steps):
+                clk.advance(1.0)  # the solver
+                bridge.execute(make_adaptor(step))
+            bridge.finalize()
+            return heavy, clk.now - start
+
+        return spmd_control(1, body, config=config)
+
+    def test_heavy_insitu_flips_to_asynchronous(self, spmd_control):
+        run = self.run_bridge(spmd_control, ControlConfig())
+        heavy, _ = run.results[0]
+        plane = run.planes[0]
         assert heavy.execution_method is ExecutionMethod.ASYNCHRONOUS
-        actions = [d.action for d in plane.decisions]
-        assert "execution=asynchronous" in actions
+        assert "execution=asynchronous" in run.actions(0)
         assert plane.signals.pushed == 6
         assert plane.summary()["by_governor"]["execution"] >= 1
 
-    def test_light_insitu_stays_lockstep(self):
-        plane = ControlPlane(ControlConfig())
-        heavy = self.run_bridge(plane, cost=0.001)
+    def test_light_insitu_stays_lockstep(self, spmd_control):
+        run = self.run_bridge(spmd_control, ControlConfig(), cost=0.001)
+        heavy, _ = run.results[0]
         assert heavy.execution_method is ExecutionMethod.LOCKSTEP
-        assert not [d for d in plane.decisions if d.governor == "execution"]
+        assert not [d for d in run.decisions(0) if d.governor == "execution"]
 
-    def test_frozen_execution_governor_logs_only(self):
+    def test_frozen_execution_governor_logs_only(self, spmd_control):
         cfg = ControlConfig.from_xml_attrs({"execution": "freeze"})
-        plane = ControlPlane(cfg)
-        heavy = self.run_bridge(plane)
+        run = self.run_bridge(spmd_control, cfg)
+        heavy, _ = run.results[0]
         assert heavy.execution_method is ExecutionMethod.LOCKSTEP
-        frozen = [d for d in plane.decisions if d.governor == "execution"]
+        frozen = [d for d in run.decisions(0) if d.governor == "execution"]
         assert frozen and all(not d.applied for d in frozen)
 
-    def test_disabled_plane_is_inert(self):
-        plane = ControlPlane(ControlConfig(enabled=False))
-        heavy = self.run_bridge(plane)
+    def test_disabled_plane_is_inert(self, spmd_control):
+        run = self.run_bridge(spmd_control, ControlConfig(enabled=False))
+        heavy, _ = run.results[0]
+        plane = run.planes[0]
         assert heavy.execution_method is ExecutionMethod.LOCKSTEP
         assert plane.signals.pushed == 0
         assert plane.decisions == [] and plane.governors == []
 
-    def test_disabled_plane_matches_no_plane_bit_identically(self):
+    def test_disabled_plane_matches_no_plane_bit_identically(self, spmd_control):
         t_without = None
-        for plane in (None, ControlPlane(ControlConfig(enabled=False))):
-            clk = current_clock()
-            start = clk.now
-            self.run_bridge(plane)
-            elapsed = clk.now - start
+        for config in (None, ControlConfig(enabled=False)):
+            run = self.run_bridge(spmd_control, config)
+            _, elapsed = run.results[0]
             if t_without is None:
                 t_without = elapsed
             else:
                 assert elapsed == t_without
 
-    def test_placement_governor_follows_device_loads(self):
-        plane = ControlPlane(ControlConfig())
-        bridge = Bridge()
-        bridge.initialize(analyses=[HeavyAnalysis(cost=0.01)])
-        bridge.attach_control(plane)
-        bridge.execute(make_adaptor(0))
-        plane.observe_device_loads(0, {0: 0.95, 1: 0.1, 2: 0.1, 3: 0.1})
-        bridge.finalize()
-        placed = [d for d in plane.decisions if d.governor == "placement"]
+    def test_placement_governor_follows_device_loads(self, spmd_control):
+        def body(comm, plane):
+            bridge = Bridge()
+            bridge.initialize(analyses=[HeavyAnalysis(cost=0.01)])
+            bridge.attach_control(plane)
+            bridge.execute(make_adaptor(0))
+            plane.observe_device_loads(0, {0: 0.95, 1: 0.1, 2: 0.1, 3: 0.1})
+            bridge.finalize()
+            return bridge.analyses[0].placement
+
+        run = spmd_control(1, body, config=ControlConfig())
+        placement = run.results[0]
+        placed = [d for d in run.decisions(0) if d.governor == "placement"]
         assert len(placed) == 1
         assert placed[0].applied
-        analysis = bridge.analyses[0]
-        assert analysis.placement.offset == 1
-        assert analysis.placement.n_use == 3
+        assert placement.offset == 1
+        assert placement.n_use == 3
 
 
 class FakeSender:

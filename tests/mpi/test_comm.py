@@ -323,3 +323,44 @@ class TestSelfCommunicator:
     def test_scatter_validates(self):
         with pytest.raises(RankMismatchError):
             SelfCommunicator().scatter([1, 2])
+
+
+class TestCoordinatedAllreduce:
+    """The epoch-checked allreduce the cluster governor rounds run on."""
+
+    def test_elementwise_sum(self):
+        def fn(comm):
+            vec = np.arange(4, dtype=float) + comm.rank
+            return comm.coordinated_allreduce(vec, op="sum")
+
+        out = run_spmd(3, fn)
+        expect = 3 * np.arange(4, dtype=float) + 3  # ranks contribute 0,1,2
+        for got in out:
+            np.testing.assert_allclose(got, expect)
+
+    def test_epoch_advances_per_round(self):
+        def fn(comm):
+            assert comm.coordination_epoch == 0
+            comm.coordinated_allreduce(np.ones(2))
+            comm.coordinated_allreduce(np.ones(2))
+            return comm.coordination_epoch
+
+        assert run_spmd(2, fn) == [2, 2]
+
+    def test_self_communicator_round_trips(self):
+        c = SelfCommunicator()
+        np.testing.assert_allclose(
+            c.coordinated_allreduce(np.array([1.0, 2.0])), [1.0, 2.0]
+        )
+        assert c.coordination_epoch == 1
+
+    def test_epoch_skew_raises_instead_of_hanging(self):
+        def fn(comm):
+            if comm.rank == 1:
+                # Simulate a rank that missed a round (cadence mismatch).
+                comm._coordination_epoch += 1
+            with pytest.raises(MPIError, match="round skew") as excinfo:
+                comm.coordinated_allreduce(np.ones(3))
+            return sorted(excinfo.value.details["epochs"])
+
+        assert run_spmd(2, fn) == [[1, 2], [1, 2]]

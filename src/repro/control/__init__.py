@@ -22,6 +22,12 @@ narrow actuator hooks:
 - :class:`~repro.control.governors.PoolTrimGovernor` — trims
   stream-ordered memory pools above a high watermark
   (``MemoryPool.trim_above``);
+- :class:`~repro.control.governors.FlowGovernor` — AIMD flow control
+  over a reliable sender's credit window and chunk size from the ACK
+  round-trip EWMA and retry rate (``ReliableSender.set_window`` /
+  ``set_chunk_bytes``); with node coordination its retry/latency
+  signals piggyback on the placement allreduce so every rank converges
+  on the same window;
 - :class:`~repro.control.cluster.ClusterPlacementGovernor` — the
   cross-rank variant of placement control: device-load vectors are
   allreduced over the plane's communicator each coordination round, so
@@ -43,6 +49,8 @@ from repro.control.governors import (
     CodecGovernor,
     Decision,
     ExecutionModeGovernor,
+    FlowBounds,
+    FlowGovernor,
     Governor,
     PlacementGovernor,
     PoolTrimGovernor,
@@ -60,6 +68,8 @@ __all__ = [
     "DiscountedUCB",
     "EWMA",
     "ExecutionModeGovernor",
+    "FlowBounds",
+    "FlowGovernor",
     "Governor",
     "GovernorSetting",
     "Hysteresis",

@@ -92,9 +92,24 @@ class ClusterPlacementGovernor(Governor):
         self._parties: dict[int, int] = {}
         self._resident: dict[int, int] = {}
         self._self_load = 0.0
+        #: Flow governor fed node-mean retry/latency signals each round.
+        self._flow = None  # FlowGovernor | None
         #: Crowding findings from the latest round (reporting access).
         self.last_crowding: Decision | None = None
         self.rounds = 0
+
+    def attach_flow(self, governor) -> None:
+        """Piggyback a flow governor's signals on the placement round.
+
+        Each coordination allreduce then also folds the per-rank
+        retry-rate and ACK-latency estimates; the node means are pushed
+        back into the governor (:meth:`FlowGovernor.ingest_node`) so
+        every rank's window converges on the same AIMD trajectory.
+        Idempotent; safe whether or not any rank has a flow governor —
+        ranks without one contribute zeros, and the vector layout is
+        identical either way.
+        """
+        self._flow = governor
 
     # -- sensors ---------------------------------------------------------------
     def observe(
@@ -125,9 +140,15 @@ class ClusterPlacementGovernor(Governor):
 
     # -- the collective round -----------------------------------------------------
     def _local_vector(self, current: int) -> np.ndarray:
-        """[busy(n) | self(n) | resident(n) | one-hot(n) | participation]."""
+        """[busy(n) | self(n) | resident(n) | one-hot(n) | participation |
+        retry-rate | ack-latency].
+
+        The two trailing flow slots are *always* present (zeros when no
+        flow governor is attached) so vector lengths match across ranks
+        regardless of which ranks govern their transport.
+        """
         n = self.n_devices
-        vec = np.zeros(4 * n + 1)
+        vec = np.zeros(4 * n + 3)
         for d in range(n):
             sharers = max(0, self._parties.get(d, 1) - 1)
             dil = self.contention.dilation(SharedResource.GPU_COMPUTE, sharers)
@@ -138,6 +159,9 @@ class ClusterPlacementGovernor(Governor):
         if 0 <= current < n:
             vec[3 * n + current] = 1.0
         vec[4 * n] = 1.0
+        if self._flow is not None:
+            vec[4 * n + 1] = self._flow.local_retry_rate
+            vec[4 * n + 2] = self._flow.local_ack_estimate
         return vec
 
     def coordinate(self, step: int, t: float | None = None) -> list[Decision]:
@@ -157,7 +181,7 @@ class ClusterPlacementGovernor(Governor):
         local = (
             self._local_vector(current)
             if self.enabled
-            else np.zeros(4 * n + 1)
+            else np.zeros(4 * n + 3)
         )
         total = self.comm.coordinated_allreduce(local, op="sum")
         self.rounds += 1
@@ -166,6 +190,13 @@ class ClusterPlacementGovernor(Governor):
         ranks_total = int(round(total[4 * n]))
         if ranks_total < 1:
             return []
+        if self._flow is not None:
+            # Node-consistent windows: every rank's flow governor acts
+            # on the same node-mean retry/latency signals from here on.
+            self._flow.ingest_node(
+                float(total[4 * n + 1]) / ranks_total,
+                float(total[4 * n + 2]) / ranks_total,
+            )
         busy_mean = total[:n] / ranks_total
         self_sum = total[n : 2 * n]
         resident = total[2 * n : 3 * n]

@@ -8,7 +8,7 @@ decisions but never actuates — the ``<control>`` element's per-governor
 ``freeze`` mode, useful for dry-running a policy against a production
 configuration.
 
-The four concrete governors map to the paper's knobs:
+The five concrete governors map to the paper's knobs:
 
 ==================  =====================================  =========================
 governor            decides                                actuator
@@ -17,6 +17,7 @@ CodecGovernor       wire codec per transport endpoint      ``ReliableSender.set_
 ExecutionModeGov.   lockstep vs. asynchronous execution    ``AnalysisAdaptor.set_execution_method``
 PlacementGovernor   Eq. 1 ``n_use``/``offset`` rebalance   ``AnalysisAdaptor.set_placement``
 PoolTrimGovernor    pool high-watermark trim               ``MemoryPool.trim_above``
+FlowGovernor        credit window + chunk size (AIMD)      ``ReliableSender.set_window`` / ``set_chunk_bytes``
 ==================  =====================================  =========================
 """
 
@@ -31,6 +32,7 @@ from repro.hw.contention import ContentionModel, SharedResource
 from repro.sensei.execution import ExecutionMethod
 from repro.sensei.placement import DevicePlacement
 from repro.transport.wire import SERIALIZE_BANDWIDTH, get_codec
+from repro.units import KiB
 
 __all__ = [
     "Decision",
@@ -39,6 +41,8 @@ __all__ = [
     "ExecutionModeGovernor",
     "PlacementGovernor",
     "PoolTrimGovernor",
+    "FlowBounds",
+    "FlowGovernor",
 ]
 
 
@@ -520,4 +524,227 @@ class PoolTrimGovernor(Governor):
             pooled=pooled,
             watermark=self.watermark,
             freed=freed,
+        )
+
+
+@dataclass(frozen=True)
+class FlowBounds:
+    """Actuation limits for :class:`FlowGovernor`.
+
+    ``min_chunk``/``max_chunk`` bound the power-of-two chunk rungs;
+    ``min_credits``/``max_credits`` bound the credit window.
+    """
+
+    min_credits: int = 1
+    max_credits: int = 64
+    min_chunk: int = 4 * KiB
+    max_chunk: int = 256 * KiB
+
+    def __post_init__(self):
+        if self.min_credits < 1:
+            raise ValueError(f"min_credits must be >= 1: {self.min_credits}")
+        if self.max_credits < self.min_credits:
+            raise ValueError(
+                f"max_credits {self.max_credits} < min_credits "
+                f"{self.min_credits}"
+            )
+        if self.min_chunk < 1:
+            raise ValueError(f"min_chunk must be >= 1: {self.min_chunk}")
+        if self.max_chunk < self.min_chunk:
+            raise ValueError(
+                f"max_chunk {self.max_chunk} < min_chunk {self.min_chunk}"
+            )
+
+
+class FlowGovernor(Governor):
+    """AIMD flow control over one sender's credit window and chunk size.
+
+    The controlled signals are the sender's ACK round-trip EWMA and its
+    per-chunk retry rate (both simulated-clock quantities, so the loop
+    is deterministic under seeded faults):
+
+    - **Additive increase**: while the ACK latency stays flat (within
+      ``latency_slack`` × the lowest EWMA seen) *and* the window
+      saturates (the step's in-flight high-water reaches the credit
+      limit), grow the window by ``grow`` credits — there is demand and
+      the link shows no strain.
+    - **Multiplicative decrease**: when the retry-rate EWMA crosses the
+      hysteresis band's high threshold, halve both the window and the
+      chunk rung (classic loss response), then hold for ``cooldown``
+      decisions so the EWMA can decay before shrinking again.
+    - **Chunk rungs**: chunk size moves on bounded power-of-two rungs —
+      up one rung while the retry rate sits under the band's low
+      threshold, down with every loss response — so a lossy link pays
+      for retransmissions in small units and a clean link amortizes
+      per-chunk overhead in large ones.
+
+    Shrinks actuate through :meth:`ReliableSender.set_window`, whose
+    deferred-shrink semantics guarantee in-flight credits are never
+    stranded.  With node coordination, :meth:`ingest_node` overrides
+    the local signals with node means so every rank converges on the
+    same window.
+    """
+
+    name = "flow"
+
+    def __init__(
+        self,
+        window_actuator: Callable[[int], None] | None = None,
+        chunk_actuator: Callable[[int], None] | None = None,
+        credits: int = 8,
+        chunk_bytes: int = 64 * KiB,
+        bounds: FlowBounds | None = None,
+        retry_low: float = 0.01,
+        retry_high: float = 0.10,
+        latency_slack: float = 1.5,
+        alpha: float = 0.5,
+        grow: int = 1,
+        cooldown: int = 2,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(None, enabled, frozen)
+        self.window_actuator = window_actuator
+        self.chunk_actuator = chunk_actuator
+        self.bounds = bounds if bounds is not None else FlowBounds()
+        self.credits = max(
+            self.bounds.min_credits, min(self.bounds.max_credits, int(credits))
+        )
+        self.chunk_bytes = max(
+            self.bounds.min_chunk, min(self.bounds.max_chunk, int(chunk_bytes))
+        )
+        self.latency_slack = float(latency_slack)
+        self.grow = int(grow)
+        self.cooldown = int(cooldown)
+        self._band = Hysteresis(retry_low, retry_high, state=False)
+        self._retry = EWMA(alpha)
+        self._ack = EWMA(alpha)
+        self._floor: float | None = None
+        self._last_peak = 0
+        self._last_shrink: int | None = None
+        self._samples = 0
+        self._node_retry: float | None = None
+        self._node_ack: float | None = None
+
+    # -- sensors ---------------------------------------------------------------
+    def observe(
+        self,
+        step: int,
+        ack_latency: float,
+        retries: int,
+        chunks: int,
+        inflight_peak: int,
+    ) -> None:
+        """Feed one step's transport measurements (deltas for counters)."""
+        if ack_latency > 0:
+            self._ack.update(ack_latency)
+        if chunks > 0:
+            self._retry.update(retries / chunks)
+        self._last_peak = int(inflight_peak)
+        self._samples += 1
+
+    def ingest_node(self, retry_rate: float, ack_latency: float) -> None:
+        """Override local signals with node means (coordinated mode).
+
+        Every rank feeding its governor identical node means drives all
+        windows through identical decisions — the node-consistent
+        window without a second collective.
+        """
+        self._node_retry = float(retry_rate)
+        self._node_ack = float(ack_latency)
+
+    @property
+    def coordinated(self) -> bool:
+        """True once node-mean signals have been ingested."""
+        return self._node_retry is not None
+
+    @property
+    def local_retry_rate(self) -> float:
+        """This rank's own retry-rate EWMA (the collective contribution)."""
+        return self._retry.get(0.0)
+
+    @property
+    def local_ack_estimate(self) -> float:
+        """This rank's own ACK-latency EWMA (the collective contribution)."""
+        return self._ack.get(0.0)
+
+    @property
+    def retry_rate(self) -> float:
+        """The retry-rate signal the next decision will act on."""
+        return (
+            self._node_retry if self._node_retry is not None
+            else self.local_retry_rate
+        )
+
+    @property
+    def ack_estimate(self) -> float:
+        """The ACK-latency signal the next decision will act on."""
+        return (
+            self._node_ack if self._node_ack is not None
+            else self.local_ack_estimate
+        )
+
+    # -- the loop ---------------------------------------------------------------
+    def decide(self, step: int, t: float | None = None) -> Decision | None:
+        if not self.enabled or self._samples == 0:
+            return None
+        retry_rate = self.retry_rate
+        ack = self.ack_estimate
+        if ack > 0 and (self._floor is None or ack < self._floor):
+            self._floor = ack
+        lossy = self._band.update(retry_rate)
+        credits, chunk = self.credits, self.chunk_bytes
+        new_credits, new_chunk = credits, chunk
+        why = []
+        if lossy:
+            held = (
+                self._last_shrink is not None
+                and step - self._last_shrink < self.cooldown
+            )
+            if not held:
+                new_credits = max(self.bounds.min_credits, credits // 2)
+                new_chunk = max(self.bounds.min_chunk, chunk // 2)
+                self._last_shrink = step
+                why.append(
+                    f"retry rate {retry_rate:.3f} above "
+                    f"{self._band.high:.3f}: multiplicative decrease"
+                )
+        else:
+            flat = (
+                self._floor is None
+                or ack <= self.latency_slack * max(self._floor, 1e-12)
+            )
+            if flat and self._last_peak >= credits:
+                new_credits = min(self.bounds.max_credits, credits + self.grow)
+                if new_credits != credits:
+                    why.append(
+                        f"ack latency {ack:.3g}s within "
+                        f"{self.latency_slack:.2f}x floor and window "
+                        f"saturated (peak {self._last_peak}): additive grow"
+                    )
+            if retry_rate <= self._band.low:
+                new_chunk = min(self.bounds.max_chunk, chunk * 2)
+                if new_chunk != chunk:
+                    why.append(
+                        f"retry rate {retry_rate:.3f} under "
+                        f"{self._band.low:.3f}: chunk rung up"
+                    )
+        if new_credits == credits and new_chunk == chunk:
+            return None
+        applied = not self.frozen
+        if applied:
+            if new_credits != credits and self.window_actuator is not None:
+                self.window_actuator(new_credits)
+            if new_chunk != chunk and self.chunk_actuator is not None:
+                self.chunk_actuator(new_chunk)
+            self.credits, self.chunk_bytes = new_credits, new_chunk
+        return self._decision(
+            step, t, f"window={new_credits} chunk={new_chunk}",
+            "; ".join(why), applied,
+            previous_window=credits,
+            previous_chunk=chunk,
+            retry_rate=round(retry_rate, 6),
+            ack_latency=round(ack, 9),
+            inflight_peak=self._last_peak,
+            coordinated=self._node_retry is not None,
         )

@@ -13,15 +13,22 @@ Configuration is the ``<control>`` element::
     <sensei>
       <control enabled="1" seed="0" interval="1" window="64"
                codec="on" execution="freeze" placement="off" pool="on"
-               coordination="node" coordination_interval="4"
+               flow="on" coordination="node" coordination_interval="4"
                mode_low="0.05" mode_high="0.15" codec_margin="1.05"
-               overload="1.3" pool_watermark_kib="1024"/>
+               overload="1.3" pool_watermark_kib="1024">
+        <flow min_credits="1" max_credits="64"
+              min_chunk="4096" max_chunk="262144"/>
+      </control>
       ...
     </sensei>
 
 Each governor attribute takes ``on`` (closed loop), ``freeze``
 (observe and log decisions but never actuate — a dry run), or ``off``
-(not even created).
+(not even created).  ``flow`` defaults to **off** — the transport
+flow-control governor is opt-in, so static ``max_inflight`` /
+``chunk_bytes`` configurations behave exactly as before; the nested
+``<flow>`` element bounds its actuation range (chunk bounds in bytes,
+stepped on power-of-two rungs).
 
 ``coordination="node"`` replaces the per-rank placement governor with
 the allreduce-coordinated
@@ -47,6 +54,8 @@ from repro.control.governors import (
     CodecGovernor,
     Decision,
     ExecutionModeGovernor,
+    FlowBounds,
+    FlowGovernor,
     Governor,
     PlacementGovernor,
     PoolTrimGovernor,
@@ -96,6 +105,7 @@ class GovernorSetting:
 
 
 _ON = GovernorSetting(True, False)
+_OFF = GovernorSetting(False, False)
 
 
 @dataclass(frozen=True)
@@ -110,6 +120,8 @@ class ControlConfig:
     execution: GovernorSetting = field(default_factory=lambda: _ON)
     placement: GovernorSetting = field(default_factory=lambda: _ON)
     pool: GovernorSetting = field(default_factory=lambda: _ON)
+    flow: GovernorSetting = field(default_factory=lambda: _OFF)
+    flow_bounds: FlowBounds = field(default_factory=FlowBounds)
     mode_low: float = 0.05     # hysteresis band on (insitu-copy)/sim
     mode_high: float = 0.15
     codec_margin: float = 1.05  # predicted-cost ratio needed to switch
@@ -149,8 +161,18 @@ class ControlConfig:
             )
 
     @classmethod
-    def from_xml_attrs(cls, attrs: Mapping[str, str]) -> "ControlConfig":
-        """Build a config from a ``<control>`` element's attributes."""
+    def from_xml_attrs(
+        cls,
+        attrs: Mapping[str, str],
+        flow_attrs: Mapping[str, str] | None = None,
+    ) -> "ControlConfig":
+        """Build a config from a ``<control>`` element's attributes.
+
+        ``flow_attrs`` carries the nested ``<flow>`` element's
+        attributes (``min_credits``/``max_credits`` in credits,
+        ``min_chunk``/``max_chunk`` in bytes), bounding the flow
+        governor's actuation range.
+        """
         attrs = dict(attrs)
 
         def _num(key: str, default, conv):
@@ -178,9 +200,41 @@ class ControlConfig:
             settings[name] = (
                 GovernorSetting.parse(raw) if raw is not None else _ON
             )
+        raw_flow = attrs.pop("flow", None)
+        settings["flow"] = (
+            GovernorSetting.parse(raw_flow) if raw_flow is not None else _OFF
+        )
         watermark = _num("pool_watermark_kib", None, float)
         coordination = attrs.pop("coordination", "off").strip().lower()
+        flow_attrs = dict(flow_attrs) if flow_attrs else {}
+        defaults = FlowBounds()
+
+        def _flow_num(key: str, default: int) -> int:
+            raw = flow_attrs.pop(key, None)
+            if raw is None:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"<flow>: attribute {key!r} must be an int, got {raw!r}"
+                ) from None
+
+        try:
+            flow_bounds = FlowBounds(
+                min_credits=_flow_num("min_credits", defaults.min_credits),
+                max_credits=_flow_num("max_credits", defaults.max_credits),
+                min_chunk=_flow_num("min_chunk", defaults.min_chunk),
+                max_chunk=_flow_num("max_chunk", defaults.max_chunk),
+            )
+        except ValueError as exc:
+            raise ConfigError(f"<flow>: {exc}") from None
+        if flow_attrs:
+            raise ConfigError(
+                f"<flow>: unknown attribute(s) {sorted(flow_attrs)}"
+            )
         config = cls(
+            flow_bounds=flow_bounds,
             enabled=enabled,
             seed=_num("seed", 0, int),
             interval=_num("interval", 1, int),
@@ -265,6 +319,7 @@ class ControlPlane:
         self._cluster_governor = None  # ClusterPlacementGovernor | None
         self._codec_governors: dict[int, CodecGovernor] = {}
         self._pool_governors: dict[int, PoolTrimGovernor] = {}
+        self._flow_governors: dict[int, FlowGovernor] = {}
         # Per-tap bookkeeping for delta extraction.
         self._bridge_prev_end: float | None = None
         self._bridge_insitu_total = 0.0
@@ -349,6 +404,8 @@ class ControlPlane:
                     frozen=cfg.placement.frozen,
                 )
                 self.governors.append(self._cluster_governor)
+                for fgov in self._flow_governors.values():
+                    self._cluster_governor.attach_flow(fgov)
             else:
                 rank = getattr(comm, "rank", 0)
                 self._placement_governor = PlacementGovernor(
@@ -379,6 +436,36 @@ class ControlPlane:
             )
             self._codec_governors[id(sender)] = gov
             self.governors.append(gov)
+        return gov
+
+    def wire_flow(self, sender) -> FlowGovernor | None:
+        """Create (or return) the flow governor for one sender.
+
+        Requires the sender to expose the ``set_window`` /
+        ``set_chunk_bytes`` actuation hooks; anything else (a test
+        double, a non-reliable sender) is silently not governed.
+        """
+        cfg = self.config
+        if not cfg.flow.enabled:
+            return None
+        if not hasattr(sender, "set_window") or not hasattr(
+            sender, "set_chunk_bytes"
+        ):
+            return None
+        gov = self._flow_governors.get(id(sender))
+        if gov is None:
+            gov = FlowGovernor(
+                window_actuator=sender.set_window,
+                chunk_actuator=sender.set_chunk_bytes,
+                credits=sender.window.credits,
+                chunk_bytes=sender.chunk_bytes,
+                bounds=cfg.flow_bounds,
+                frozen=cfg.flow.frozen,
+            )
+            self._flow_governors[id(sender)] = gov
+            self.governors.append(gov)
+            if self._cluster_governor is not None:
+                self._cluster_governor.attach_flow(gov)
         return gov
 
     def wire_pool(self, pool, watermark_bytes: int | None = None) -> PoolTrimGovernor | None:
@@ -457,18 +544,21 @@ class ControlPlane:
         if not self.enabled:
             return
         gov = self.wire_sender(sender)
+        fgov = self.wire_flow(sender)
         clock = current_clock()
         m = sender.metrics
         prev = self._sender_marks.get(
-            id(sender), (0, 0, 0, 0.0, 0)
+            id(sender), (0, 0, 0, 0.0, 0, 0)
         )
         d_raw = m.raw_bytes - prev[0]
         d_wire = m.wire_bytes - prev[1]
         d_out = m.bytes_out - prev[2]
         d_backoff = m.backoff_time - prev[3]
         d_retries = m.retries - prev[4]
+        d_chunks = m.chunks_sent - prev[5]
         self._sender_marks[id(sender)] = (
-            m.raw_bytes, m.wire_bytes, m.bytes_out, m.backoff_time, m.retries
+            m.raw_bytes, m.wire_bytes, m.bytes_out, m.backoff_time,
+            m.retries, m.chunks_sent,
         )
         codec = sender.codec
         encode = d_raw / SERIALIZE_BANDWIDTH
@@ -486,9 +576,24 @@ class ControlPlane:
                 transfer_time=transfer_time,
                 compression_ratio=ratio,
                 retries=d_retries,
+                ack_latency=m.ack_latency,
+                inflight_peak=m.inflight_peak,
                 extras=(("codec", codec.name),),
             )
         )
+        if fgov is not None:
+            fgov.observe(
+                step, m.ack_latency, d_retries, d_chunks, m.inflight_peak
+            )
+            # Under node coordination, hold actuation until the first
+            # allreduce round has delivered node-mean signals: acting
+            # on per-rank measurements first would let windows diverge
+            # before coordination can make them node-consistent.
+            pending_round = (
+                self._cluster_governor is not None and not fgov.coordinated
+            )
+            if self._due(step) and not pending_round:
+                self._log(fgov.decide(step, t=clock.now))
         if gov is None:
             return
         sample = None

@@ -37,6 +37,8 @@ class StepObservation:
     transfer_time: float = 0.0   # wire time (apparent minus encode charge)
     compression_ratio: float = 1.0
     retries: int = 0
+    ack_latency: float = 0.0     # EWMA of per-chunk ACK RTT (simulated s)
+    inflight_peak: int = 0       # credit-window high-water this step
     extras: tuple = ()           # sorted (key, value) pairs, free-form
 
     @property

@@ -142,9 +142,11 @@ class InTransitBridge:
 
         Every ``execute`` then feeds the plane this step's transport
         measurements (raw/wire byte deltas, estimated wire time,
-        retries) and the plane's codec governor may retarget this
-        endpoint's wire codec.  Pair with
-        ``TransportConfig(compression="adaptive")`` to retire the
+        retries, the ACK round-trip EWMA, and the in-flight high-water)
+        and the plane's governors may retarget this endpoint's wire
+        codec (``<control codec="on">``) and its credit window / chunk
+        size (``<control flow="on">``, the AIMD flow governor).  Pair
+        with ``TransportConfig(compression="adaptive")`` to retire the
         static codec choice entirely.
         """
         self._control = plane

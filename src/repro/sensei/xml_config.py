@@ -9,8 +9,11 @@ attributes.  The schema::
       <transport compression="zlib" chunk_kib="64" max_inflight="8"
                  retries="8" partitioner="block"/>
       <control enabled="1" codec="on" execution="freeze"
-               placement="off" pool="on" interval="1" seed="0"
-               coordination="node" coordination_interval="4"/>
+               placement="off" pool="on" flow="on" interval="1" seed="0"
+               coordination="node" coordination_interval="4">
+        <flow min_credits="1" max_credits="64"
+              min_chunk="4096" max_chunk="262144"/>
+      </control>
       <analysis type="data_binning" enabled="1" mesh="bodies"
                 axes="x,y" bins="256,256"
                 variables="mass:sum,vx:average"
@@ -154,7 +157,21 @@ def parse_document(text: str) -> SenseiConfig:
                 raise ConfigError("at most one <control> element is allowed")
             from repro.control.plan import ControlConfig
 
-            control = ControlConfig.from_xml_attrs(child.attrib)
+            flow_attrs = None
+            for sub in child:
+                if sub.tag != "flow":
+                    raise ConfigError(
+                        f"unexpected element <{sub.tag}> inside <control>; "
+                        "only <flow> is allowed"
+                    )
+                if flow_attrs is not None:
+                    raise ConfigError(
+                        "at most one <flow> element is allowed"
+                    )
+                flow_attrs = dict(sub.attrib)
+            control = ControlConfig.from_xml_attrs(
+                child.attrib, flow_attrs=flow_attrs
+            )
             continue
         if child.tag != "analysis":
             raise ConfigError(

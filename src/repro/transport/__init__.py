@@ -11,8 +11,9 @@ package is the transport plane under :mod:`repro.sensei.intransit`:
   plus the reliable sender/receiver pair (ACKs, dedup, drain);
 - :mod:`repro.transport.retry` — sender-side retry with exponential
   backoff and jitter;
-- :mod:`repro.transport.flow` — bounded in-flight credit window so
-  producers backpressure instead of queueing unboundedly;
+- :mod:`repro.transport.flow` — bounded, run-time *resizable*
+  in-flight credit window so producers backpressure instead of
+  queueing unboundedly (the flow-control governor's actuator);
 - :mod:`repro.transport.partition` — M-to-N partitioners (``block``,
   ``cyclic``, ``weighted``);
 - :mod:`repro.transport.metrics` — per-endpoint transport counters

@@ -69,25 +69,48 @@ _CONTROL_NBYTES = 16
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Injected channel faults (independent probabilities per frame)."""
+    """Injected channel faults (independent probabilities per frame).
+
+    ``congestion_bytes``/``congestion_drop`` model a *shallow pipe*:
+    when the sender's in-flight bytes exceed ``congestion_bytes``, the
+    drop probability rises by ``congestion_drop`` per multiple of
+    overshoot — the switch-buffer overflow that punishes overdriving a
+    link, and the loss signal the flow-control governor reacts to.
+    ``congestion_bytes=0`` (the default) disables congestion entirely.
+    """
 
     drop: float = 0.0
     duplicate: float = 0.0
     reorder: float = 0.0
     corrupt: float = 0.0
     seed: int = 0
+    congestion_bytes: int = 0
+    congestion_drop: float = 0.0
 
     def __post_init__(self):
-        for name in ("drop", "duplicate", "reorder", "corrupt"):
+        for name in ("drop", "duplicate", "reorder", "corrupt",
+                     "congestion_drop"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise TransportError(
                     f"fault probability {name}={v} outside [0, 1]"
                 )
+        if self.congestion_bytes < 0:
+            raise TransportError(
+                f"congestion_bytes must be >= 0: {self.congestion_bytes}"
+            )
+
+    @property
+    def congested(self) -> bool:
+        """True when the shallow-pipe congestion model is active."""
+        return bool(self.congestion_bytes and self.congestion_drop)
 
     @property
     def any(self) -> bool:
-        return bool(self.drop or self.duplicate or self.reorder or self.corrupt)
+        return bool(
+            self.drop or self.duplicate or self.reorder or self.corrupt
+            or self.congested
+        )
 
 
 def _frame_nbytes(frame: tuple) -> int:
@@ -98,13 +121,23 @@ def _frame_nbytes(frame: tuple) -> int:
 
 
 class Channel:
-    """Direct, reliable, in-order delivery over a communicator."""
+    """Direct, reliable, in-order delivery over a communicator.
+
+    ``charge`` controls whether data-direction sends bill the sender's
+    simulated clock through the communicator's cost model.  The
+    reliable sender flips it off when it charges pipelined wire time
+    itself (``TransportConfig.pipelined``) so bytes are never billed
+    twice.  ``load`` is the sender's current in-flight byte count —
+    ignored here, consumed by :class:`FaultyChannel`'s congestion
+    model.
+    """
 
     def __init__(self, comm: "Communicator"):
         self.comm = comm
+        self.charge = True
 
-    def send(self, frame: tuple, dest: int, tag: int) -> None:
-        self.comm.send(frame, dest, tag)
+    def send(self, frame: tuple, dest: int, tag: int, load: int = 0) -> None:
+        self.comm.send(frame, dest, tag, charge=self.charge)
 
     def flush(self, dest: int, tag: int) -> None:
         """Release any frames the channel is holding back (no-op)."""
@@ -126,9 +159,25 @@ class FaultyChannel(Channel):
         self.faults = faults
         self._rng = random.Random(f"{faults.seed}:{getattr(comm, 'rank', 0)}")
         self._stash: tuple | None = None  # (frame, dest, tag)
-        self.injected = {"drop": 0, "duplicate": 0, "reorder": 0, "corrupt": 0}
+        self.injected = {
+            "drop": 0, "duplicate": 0, "reorder": 0, "corrupt": 0,
+            "congestion": 0,
+        }
 
-    def send(self, frame: tuple, dest: int, tag: int) -> None:
+    def _drop_probability(self, frame: tuple, load: int) -> float:
+        """Per-frame loss probability, inflated by pipe overshoot."""
+        f = self.faults
+        p = f.drop
+        if (
+            frame[0] == "chunk"
+            and f.congested
+            and load > f.congestion_bytes
+        ):
+            over = (load - f.congestion_bytes) / f.congestion_bytes
+            p = min(0.95, p + f.congestion_drop * over)
+        return p
+
+    def send(self, frame: tuple, dest: int, tag: int, load: int = 0) -> None:
         f = self.faults
         if (
             frame[0] == "chunk"
@@ -137,28 +186,32 @@ class FaultyChannel(Channel):
         ):
             frame = ("chunk", frame[1].corrupted())
             self.injected["corrupt"] += 1
-        if f.drop and self._rng.random() < f.drop:
+        p_drop = self._drop_probability(frame, load)
+        if p_drop and self._rng.random() < p_drop:
             self.injected["drop"] += 1
-            cost = getattr(self.comm, "cost", None)
-            if cost is not None:
-                current_clock().advance(cost.message(_frame_nbytes(frame)))
+            if p_drop > f.drop:
+                self.injected["congestion"] += 1
+            if self.charge:
+                cost = getattr(self.comm, "cost", None)
+                if cost is not None:
+                    current_clock().advance(cost.message(_frame_nbytes(frame)))
             self._release(dest, tag)
             return
         if f.reorder and self._stash is None and self._rng.random() < f.reorder:
             self.injected["reorder"] += 1
             self._stash = (frame, dest, tag)
             return
-        self.comm.send(frame, dest, tag)
+        self.comm.send(frame, dest, tag, charge=self.charge)
         if f.duplicate and self._rng.random() < f.duplicate:
             self.injected["duplicate"] += 1
-            self.comm.send(frame, dest, tag)
+            self.comm.send(frame, dest, tag, charge=self.charge)
         self._release(dest, tag)
 
     def _release(self, dest: int, tag: int) -> None:
         if self._stash is not None:
             stashed, sdest, stag = self._stash
             self._stash = None
-            self.comm.send(stashed, sdest, stag)
+            self.comm.send(stashed, sdest, stag, charge=self.charge)
 
     def flush(self, dest: int, tag: int) -> None:
         self._release(dest, tag)
@@ -167,12 +220,13 @@ class FaultyChannel(Channel):
 class _InFlight:
     """Book-keeping for one transmitted-but-unACKed chunk."""
 
-    __slots__ = ("chunk", "attempts", "deadline")
+    __slots__ = ("chunk", "attempts", "deadline", "sent_at")
 
-    def __init__(self, chunk: Chunk, deadline: float):
+    def __init__(self, chunk: Chunk, deadline: float, sent_at: float):
         self.chunk = chunk
         self.attempts = 1
         self.deadline = deadline
+        self.sent_at = sent_at  # simulated clock at last transmit
 
 
 class ReliableSender:
@@ -196,11 +250,18 @@ class ReliableSender:
         self.codec = get_codec(config.initial_codec)
         self.policy = config.retry
         self.window = CreditWindow(config.max_inflight)
+        self.chunk_bytes = int(config.chunk_bytes)
         self.channel: Channel = (
             FaultyChannel(comm, config.faults)
             if config.faults.any
             else Channel(comm)
         )
+        self._pipelined = bool(getattr(config, "pipelined", False))
+        if self._pipelined:
+            # Wire time is charged here, amortizing link latency over
+            # the in-flight depth; the channel must not bill it again.
+            self.channel.charge = False
+        self._inflight_bytes = 0
         self._rng = random.Random(f"{config.faults.seed}:{comm.rank}:backoff")
         peer = f"rank{comm.rank}->rank{dest}"
         self.metrics = metrics if metrics is not None else TransportMetrics(
@@ -221,6 +282,27 @@ class ReliableSender:
         """
         self.codec = get_codec(name)
 
+    def set_window(self, credits: int) -> None:
+        """Resize the credit window (control-plane hook).
+
+        Mirrors :meth:`set_codec`: safe at any step boundary, and safe
+        mid-step too — a shrink below the current in-flight count
+        defers until ACKs drain (:meth:`CreditWindow.resize` never
+        strands credits already on the wire).
+        """
+        self.window.resize(credits)
+
+    def set_chunk_bytes(self, nbytes: int) -> None:
+        """Retarget the wire chunk size (control-plane hook).
+
+        Takes effect at the next :meth:`send_step`: chunking happens at
+        encode time, so steps already on the wire are untouched and the
+        receiver needs no renegotiation (every chunk self-describes).
+        """
+        if nbytes < 1:
+            raise TransportError(f"chunk_bytes must be >= 1: {nbytes}")
+        self.chunk_bytes = int(nbytes)
+
     # -- data path -------------------------------------------------------------
     def send_step(self, step: int, sim_time: float, table: "TableData") -> None:
         """Deliver one step's table reliably; blocks until fully ACKed."""
@@ -229,7 +311,7 @@ class ReliableSender:
         clock = current_clock()
         t0 = clock.now
         chunks = encode_step(
-            table, step, sim_time, self.codec, self.config.chunk_bytes
+            table, step, sim_time, self.codec, self.chunk_bytes
         )
         self.timeline.record(
             t0, clock.now, name=f"encode step {step}",
@@ -241,16 +323,22 @@ class ReliableSender:
 
         pending = deque(chunks)
         inflight: dict[int, _InFlight] = {}
+        peak = 0
         while pending or inflight:
             while pending and self.window.try_acquire():
                 c = pending.popleft()
+                self._inflight_bytes += c.wire_nbytes
+                peak = max(peak, self.window.in_flight)
                 self._transmit(c)
                 inflight[c.index] = _InFlight(
-                    c, time.monotonic() + self.policy.ack_timeout
+                    c, time.monotonic() + self.policy.ack_timeout,
+                    current_clock().now,
                 )
             self.channel.flush(self.dest, DATA_TAG)
             self._service_acks(step, inflight)
             self._retransmit_expired(step, inflight)
+        self._inflight_bytes = 0
+        self.metrics.inflight_peak = peak
         self.metrics.max_queue_depth = max(
             self.metrics.max_queue_depth, self.window.max_depth
         )
@@ -259,7 +347,19 @@ class ReliableSender:
     def _transmit(self, chunk: Chunk) -> None:
         clock = current_clock()
         t0 = clock.now
-        self.channel.send(("chunk", chunk), self.dest, DATA_TAG)
+        self.channel.send(
+            ("chunk", chunk), self.dest, DATA_TAG, load=self._inflight_bytes
+        )
+        if self._pipelined:
+            # Pipelined wire model: a window of W outstanding chunks
+            # overlaps W handshakes, so each transmit pays 1/W of the
+            # link latency plus its serialization time on the pipe.
+            cost = getattr(self.comm, "cost", None)
+            if cost is not None:
+                depth = max(1, self.window.in_flight)
+                clock.advance(
+                    cost.latency / depth + chunk.wire_nbytes / cost.bandwidth
+                )
         self.timeline.record(
             t0, clock.now,
             name=f"send s{chunk.step}c{chunk.index}",
@@ -270,6 +370,7 @@ class ReliableSender:
 
     def _service_acks(self, step: int, inflight: dict[int, _InFlight]) -> None:
         """Drain the control plane until an ACK lands or a deadline nears."""
+        clock = current_clock()
         while inflight:
             wait = max(
                 0.001,
@@ -289,7 +390,11 @@ class ReliableSender:
                 if state is None:
                     continue  # duplicate ACK
                 self.window.release()
+                self._inflight_bytes = max(
+                    0, self._inflight_bytes - state.chunk.wire_nbytes
+                )
                 self.metrics.acks_received += 1
+                self.metrics.observe_ack_latency(clock.now - state.sent_at)
                 if state.attempts > 1:
                     self.metrics.drops_recovered += 1
                 progressed = True
@@ -331,17 +436,39 @@ class ReliableSender:
             f.attempts += 1
             f.deadline = time.monotonic() + self.policy.ack_timeout
             self._transmit(f.chunk)
+            f.sent_at = clock.now
         self.channel.flush(self.dest, DATA_TAG)
 
     # -- drain ------------------------------------------------------------------
     def close(self) -> None:
-        """Graceful drain: ``fin`` / ``fin_ack`` handshake with retries."""
+        """Graceful drain: ``fin`` / ``fin_ack`` handshake with retries.
+
+        Drain-phase retransmissions use the same accounting as the
+        data path (:meth:`_retransmit_expired`): a retry counter, a
+        backoff charged to the simulated clock, and a timeline event —
+        fault recovery during drain is just as visible as mid-step.
+        """
         if self._closed:
             return
+        clock = current_clock()
         attempts = 0
         while True:
             attempts += 1
+            if attempts > 1:
+                self.metrics.retries += 1
+                delay = self.policy.backoff(attempts - 1, self._rng)
+                t0 = clock.now
+                clock.advance(delay)
+                self.timeline.record(
+                    t0, clock.now, name="backoff fin",
+                    category=EventCategory.SYNC,
+                )
+                self.metrics.backoff_time += delay
             self.channel.send(("fin", self.steps_sent), self.dest, DATA_TAG)
+            if self._pipelined:
+                cost = getattr(self.comm, "cost", None)
+                if cost is not None:
+                    clock.advance(cost.message(_CONTROL_NBYTES))
             self.channel.flush(self.dest, DATA_TAG)
             deadline = time.monotonic() + self.policy.ack_timeout
             while time.monotonic() < deadline:
@@ -419,12 +546,19 @@ class ReliableReceiver:
                 self.finished = True
                 return None
             chunk: Chunk = frame[1]
+            # Every arriving chunk hits the wire — corrupt ones too —
+            # so bytes_in must count it before the checksum verdict;
+            # wire_bytes below stays unique-verified-only.
+            self.metrics.bytes_in += chunk.wire_nbytes
             if not chunk.verify():
                 # Withhold the ACK; the retransmission carries clean bytes.
                 self.metrics.checksum_failures += 1
                 continue
+            # A verified frame is progress: reset the patience window
+            # so a long multi-chunk step on a lossy link is never
+            # aborted while chunks are steadily arriving.
+            deadline = time.monotonic() + self.config.recv_timeout
             self.metrics.chunks_received += 1
-            self.metrics.bytes_in += chunk.wire_nbytes
             status = self.assembler.offer(chunk)
             self._ack(("ack", chunk.step, (chunk.index,)))
             if status == "duplicate":

@@ -6,7 +6,8 @@ Schema (all attributes optional; defaults shown)::
       <transport compression="none" chunk_kib="64" max_inflight="8"
                  retries="8" ack_timeout="0.05" partitioner="block"
                  drop="0.0" duplicate="0.0" reorder="0.0"
-                 corrupt="0.0" seed="0"/>
+                 corrupt="0.0" seed="0" pipelined="false"
+                 congestion_kib="0" congestion_drop="0.0"/>
       <analysis .../>
     </sensei>
 
@@ -48,6 +49,12 @@ class TransportConfig:
     partitioner: str = "block"
     faults: FaultSpec = field(default_factory=FaultSpec)
     recv_timeout: float = 60.0  # wall-clock patience of a receiver
+    #: Pipelined wire-cost model: the sender charges each chunk
+    #: ``latency / in_flight + bytes / bandwidth``, so a deeper credit
+    #: window amortizes link latency (and the flow governor has a real
+    #: trade-off to optimize).  Off by default: the classic model
+    #: charges every frame serially through the communicator.
+    pipelined: bool = False
 
     def __post_init__(self):
         if (
@@ -124,9 +131,18 @@ class TransportConfig:
             reorder=_num("reorder", 0.0, float),
             corrupt=_num("corrupt", 0.0, float),
             seed=_num("seed", 0, int),
+            congestion_bytes=int(_num("congestion_kib", 0.0, float) * KiB),
+            congestion_drop=_num("congestion_drop", 0.0, float),
         )
         partitioner = attrs.pop("partitioner", "block")
         recv_timeout = _num("recv_timeout", 60.0, float)
+        raw_pipelined = attrs.pop("pipelined", "false").strip().lower()
+        if raw_pipelined not in ("true", "false", "1", "0"):
+            raise ConfigError(
+                f"<transport>: attribute 'pipelined' must be a boolean, "
+                f"got {raw_pipelined!r}"
+            )
+        pipelined = raw_pipelined in ("true", "1")
         if attrs:
             raise ConfigError(
                 f"<transport>: unknown attribute(s) {sorted(attrs)}"
@@ -139,4 +155,5 @@ class TransportConfig:
             partitioner=partitioner,
             faults=faults,
             recv_timeout=recv_timeout,
+            pipelined=pipelined,
         )

@@ -1,10 +1,19 @@
-"""Credit-based flow control: a bounded in-flight window.
+"""Credit-based flow control: a bounded, *resizable* in-flight window.
 
 A sender must hold a credit for every un-ACKed chunk; when the window
 is exhausted it stops transmitting and services ACKs instead.  That is
 the backpressure that keeps a fast producer from queueing unboundedly
 ahead of a slow endpoint — the mailbox never holds more than
 ``credits`` chunks per (producer, step).
+
+The window is the flow-control governor's actuator
+(:class:`repro.control.governors.FlowGovernor` via
+:meth:`repro.transport.channel.ReliableSender.set_window`):
+:meth:`CreditWindow.resize` changes the credit limit at run time.  A
+shrink below the current in-flight count never strands credits — the
+chunks already on the wire keep their credits and simply drain; the
+sender just cannot acquire new credits until the in-flight count falls
+below the new limit.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ __all__ = ["CreditWindow"]
 
 
 class CreditWindow:
-    """A fixed pool of transmission credits with high-water tracking."""
+    """A resizable pool of transmission credits with high-water tracking."""
 
     def __init__(self, credits: int):
         if credits < 1:
@@ -23,6 +32,7 @@ class CreditWindow:
         self.credits = int(credits)
         self._in_flight = 0
         self.max_depth = 0
+        self.resizes = 0
 
     @property
     def in_flight(self) -> int:
@@ -30,7 +40,7 @@ class CreditWindow:
 
     @property
     def available(self) -> int:
-        return self.credits - self._in_flight
+        return max(0, self.credits - self._in_flight)
 
     def try_acquire(self) -> bool:
         """Take a credit if one is free; False means backpressure."""
@@ -47,6 +57,21 @@ class CreditWindow:
                 f"cannot release {n} credits with {self._in_flight} in flight"
             )
         self._in_flight -= n
+
+    def resize(self, credits: int) -> None:
+        """Change the credit limit (the flow governor's actuator).
+
+        Safe at any time: growing frees capacity immediately; shrinking
+        below the current in-flight count defers — outstanding chunks
+        keep their credits (``release`` still accounts for every one of
+        them) and ``try_acquire`` stays refused until ACKs drain the
+        count under the new limit.  ``max_depth`` is monotonic: a
+        shrink never erases the high-water mark already reached.
+        """
+        if credits < 1:
+            raise TransportError(f"need at least one credit: {credits}")
+        self.credits = int(credits)
+        self.resizes += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -45,7 +45,29 @@ class TransportMetrics:
     checksum_failures: int = 0
     backoff_time: float = 0.0  # simulated seconds spent backing off
     max_queue_depth: int = 0  # credit-window high-water mark
+    ack_latency: float = 0.0  # EWMA of per-chunk ACK RTT (simulated s)
+    ack_samples: int = 0  # RTT samples folded into the EWMA
+    inflight_peak: int = 0  # in-flight high-water of the latest step
     extras: dict = field(default_factory=dict)
+
+    #: EWMA weight for :meth:`observe_ack_latency` (newest sample).
+    ACK_LATENCY_ALPHA = 0.3
+
+    def observe_ack_latency(self, rtt: float) -> float:
+        """Fold one per-chunk ACK round-trip time into the EWMA.
+
+        The sample is *simulated* seconds between a chunk's transmit
+        and its ACK being serviced, so the estimate is deterministic
+        under seeded faults — the flow governor's latency signal.
+        """
+        if self.ack_samples == 0:
+            self.ack_latency = float(rtt)
+        else:
+            self.ack_latency += self.ACK_LATENCY_ALPHA * (
+                float(rtt) - self.ack_latency
+            )
+        self.ack_samples += 1
+        return self.ack_latency
 
     @property
     def compression_ratio(self) -> float:
@@ -71,6 +93,9 @@ class TransportMetrics:
             "checksum_failures": self.checksum_failures,
             "backoff_time": self.backoff_time,
             "max_queue_depth": self.max_queue_depth,
+            "ack_latency": self.ack_latency,
+            "ack_samples": self.ack_samples,
+            "inflight_peak": self.inflight_peak,
             "compression_ratio": self.compression_ratio,
         }
         out.update(self.extras)
@@ -93,6 +118,8 @@ class TransportMetrics:
                     "wire_bytes": self.wire_bytes,
                     "compression_ratio": round(self.compression_ratio, 3),
                     "queue_depth": self.max_queue_depth,
+                    "ack_latency": self.ack_latency,
+                    "inflight_peak": self.inflight_peak,
                 },
             }
         ]

@@ -51,7 +51,14 @@ CONTROL = ControlConfig.from_xml_attrs(
         "coordination": "node",
         "pool_watermark_kib": "64",
         "mode_high": "0.15",
-    }
+        "flow": "on",
+    },
+    flow_attrs={
+        "min_credits": "2",
+        "max_credits": "32",
+        "min_chunk": "512",
+        "max_chunk": "8192",
+    },
 )
 TRANSPORT = TransportConfig(
     compression="adaptive",
@@ -138,12 +145,26 @@ def endpoint_factory():
 
 
 def _canonical(decision):
-    """A decision dict minus its timestamp, measured floats normalized."""
+    """A decision dict minus its timestamp, measured floats normalized.
+
+    Flow decisions additionally drop their measured-signal context
+    (``retry_rate``, ``ack_latency``, ``inflight_peak``, and the reason
+    string quoting them): ACK-timeout retransmissions are triggered by
+    *wall-clock* deadlines, so a thread descheduled past ``ack_timeout``
+    retransmits a chunk one run and not the next — the AIMD trajectory
+    (the window/chunk actions and their ordering, asserted below) is
+    what must reproduce bit-identically, the same way decision
+    timestamps are compared with tolerance instead of exactly.
+    """
     out = {k: v for k, v in decision.items() if k != "time"}
     out["args"] = {
         k: float(f"{v:.9g}") if isinstance(v, float) else v
         for k, v in decision["args"].items()
     }
+    if decision["governor"] == "flow":
+        out.pop("reason", None)
+        for k in ("retry_rate", "ack_latency", "inflight_peak"):
+            out["args"].pop(k, None)
     return out
 
 
@@ -172,7 +193,17 @@ class TestControlDeterminism:
         logs = run_once()
         assert len(logs) == M
         governors = {d["governor"] for log in logs for d in log}
-        assert {"execution", "codec", "pool", "cluster"} <= governors
+        assert {"execution", "codec", "pool", "cluster", "flow"} <= governors
+        # The flow governor acted on the lossy link, and its windows
+        # stayed node-consistent: both producers, having ingested the
+        # same node-mean retry/latency signals from the coordination
+        # rounds, walked the same window/chunk trajectory.
+        flow_actions = [
+            [d["action"] for d in log if d["governor"] == "flow"]
+            for log in logs
+        ]
+        assert all(flow_actions)
+        assert flow_actions[0] == flow_actions[1]
         # Faults were present, the cluster still re-aimed consistently.
         reaims = [
             [d for d in log if d["action"].startswith("placement=")]

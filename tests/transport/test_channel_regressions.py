@@ -1,0 +1,200 @@
+"""Regression tests for reliable-channel correctness fixes.
+
+Three historical bugs, each reproduced with a deterministic stub comm
+(wall-clock schedules under our control, no SPMD timing races):
+
+1. ``ReliableReceiver.receive_step`` computed its ``recv_timeout``
+   deadline once per call, so a long multi-chunk step on a slow/faulty
+   link timed out even while verified chunks were steadily arriving.
+   Progress must reset the deadline.
+2. ``ReliableSender.close()`` fin retransmissions bypassed the retry
+   accounting of the data path: no ``metrics.retries``, no simulated
+   backoff charge, no timeline event — drain-phase fault recovery was
+   invisible.
+3. The receiver dropped corrupt chunks before counting ``bytes_in``,
+   so checksum-failed traffic vanished from wire accounting (the byte
+   assertion lives in ``test_faults.py``; the unit-level check here).
+
+Plus coverage for the new control-plane hooks the flow governor
+actuates: ``set_window`` / ``set_chunk_bytes`` and the ACK round-trip
+/ in-flight-peak sensors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.hamr.runtime import current_clock
+from repro.hw.clock import EventCategory
+from repro.transport.channel import ReliableReceiver, ReliableSender
+from repro.transport.config import TransportConfig
+from repro.transport.retry import RetryPolicy
+from repro.transport.wire import encode_step
+
+from .test_channel import make_table, sender_receiver_run
+
+
+class _ScriptedComm:
+    """A comm whose ``recv`` plays back a (delay, result) script.
+
+    Each script entry is ``(sleep_seconds, frame-or-None)``; None
+    raises TimeoutError after the sleep, a frame is delivered.  Sends
+    are recorded.  The script wraps around, so trailing timeouts can
+    repeat forever.
+    """
+
+    rank = 0
+    cost = None
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sent = []
+        self._i = 0
+
+    def send(self, frame, dest, tag, charge=True):
+        self.sent.append((frame, dest, tag))
+
+    def recv(self, source, tag, timeout=None, charge=True):
+        delay, frame = self.script[min(self._i, len(self.script) - 1)]
+        self._i += 1
+        if delay:
+            time.sleep(delay)
+        if frame is None:
+            raise TimeoutError
+        return frame
+
+
+class TestReceiverDeadlineReset:
+    """Bug 1: progress must extend the receiver's patience window."""
+
+    def _scripted_step(self, pause: float):
+        """A few chunks, each preceded by a timeout poll and a pause."""
+        chunks = encode_step(make_table(256), 0, 0.0, "none", 1024)
+        assert len(chunks) >= 4
+        script = []
+        for c in chunks:
+            script.append((pause, None))            # slow link: a poll times out
+            script.append((pause, ("chunk", c)))    # ...then a chunk lands
+        return chunks, script
+
+    def test_steady_arrivals_slower_than_recv_timeout_deliver(self):
+        """Inter-chunk gaps stay under recv_timeout but the whole step
+        takes several times longer — the once-per-call deadline raised
+        here; the per-chunk reset must not."""
+        chunks, script = self._scripted_step(pause=0.06)
+        comm = _ScriptedComm(script)
+        recv = ReliableReceiver(
+            comm, 0, TransportConfig(recv_timeout=0.25)
+        )
+        step, _t, cols = recv.receive_step()  # total wall time ~0.7s
+        assert step == 0
+        assert recv.metrics.chunks_received == len(chunks)
+
+    def test_genuine_silence_still_times_out(self):
+        """The fix must not remove the watchdog: a link that goes quiet
+        after partial progress still raises."""
+        chunks, script = self._scripted_step(pause=0.01)
+        # Deliver only the first chunk, then silence forever.
+        script = script[:2] + [(0.02, None)]
+        comm = _ScriptedComm(script)
+        recv = ReliableReceiver(
+            comm, 0, TransportConfig(recv_timeout=0.15)
+        )
+        with pytest.raises(TransportError, match="no traffic"):
+            recv.receive_step()
+        assert recv.metrics.chunks_received == 1
+
+
+class TestCloseRetryAccounting:
+    """Bug 2: drain-phase retransmits use data-path retry accounting."""
+
+    def _drain(self, fin_acks_after: int):
+        policy = RetryPolicy(ack_timeout=0.02, jitter=0.0)
+        config = TransportConfig(retry=policy)
+        # Time out every poll until the Nth fin went out, then ack.
+        comm = _ScriptedComm([(0.0, None)])
+        sender = ReliableSender(comm, 1, config)
+
+        real_recv = comm.recv
+
+        def recv(source, tag, timeout=None, charge=True):
+            fins = sum(1 for f, _, _ in comm.sent if f[0] == "fin")
+            if fins >= fin_acks_after:
+                return ("fin_ack",)
+            return real_recv(source, tag, timeout=timeout, charge=charge)
+
+        comm.recv = recv
+        t0 = current_clock().now
+        sender.close()
+        return sender, current_clock().now - t0
+
+    def test_fin_retransmissions_are_accounted(self):
+        sender, elapsed = self._drain(fin_acks_after=3)
+        fins = [f for f, _, _ in sender.comm.sent if f[0] == "fin"]
+        assert len(fins) == 3
+        # Two retransmissions: counted, charged, and on the timeline —
+        # exactly like the data path's _retransmit_expired.
+        assert sender.metrics.retries == 2
+        assert sender.metrics.backoff_time > 0.0
+        assert elapsed == pytest.approx(sender.metrics.backoff_time)
+        backoffs = [
+            e for e in sender.timeline.events
+            if e.name == "backoff fin" and e.category is EventCategory.SYNC
+        ]
+        assert len(backoffs) == 2
+
+    def test_clean_drain_charges_nothing(self):
+        sender, elapsed = self._drain(fin_acks_after=1)
+        assert sender.metrics.retries == 0
+        assert sender.metrics.backoff_time == 0.0
+        assert elapsed == 0.0
+
+
+class TestReceiverByteAccounting:
+    """Bug 3: corrupt arrivals count toward bytes_in, not wire_bytes."""
+
+    def test_corrupt_chunk_counts_bytes_in_only(self):
+        chunks = encode_step(make_table(256), 0, 0.0, "none", 4096)
+        bad = chunks[0].corrupted()
+        comm = _ScriptedComm(
+            [(0.0, ("chunk", bad)), (0.0, ("chunk", chunks[0]))]
+        )
+        recv = ReliableReceiver(comm, 0, TransportConfig())
+        step, _t, _cols = recv.receive_step()
+        assert step == 0
+        assert recv.metrics.checksum_failures == 1
+        # The corrupt arrival hit the wire: bytes_in counts both
+        # deliveries, wire_bytes only the unique verified chunk.
+        assert recv.metrics.bytes_in == 2 * chunks[0].wire_nbytes
+        assert recv.metrics.wire_bytes == chunks[0].wire_nbytes
+
+
+class TestFlowControlHooks:
+    """The governor's actuators and sensors on a live sender pair."""
+
+    def test_set_chunk_bytes_rechunks_next_step(self):
+        comm = _ScriptedComm([])
+        sender = ReliableSender(comm, 1, TransportConfig(chunk_bytes=4096))
+        assert sender.chunk_bytes == 4096
+        sender.set_chunk_bytes(1024)
+        assert sender.chunk_bytes == 1024
+        with pytest.raises(TransportError):
+            sender.set_chunk_bytes(0)
+
+    def test_set_window_resizes_live_window(self):
+        comm = _ScriptedComm([])
+        sender = ReliableSender(comm, 1, TransportConfig(max_inflight=4))
+        sender.set_window(9)
+        assert sender.window.credits == 9
+        with pytest.raises(TransportError):
+            sender.set_window(0)
+
+    def test_clean_run_measures_ack_rtt_and_peak(self):
+        config = TransportConfig(chunk_bytes=1024, max_inflight=4)
+        (_, m, _), _ = sender_receiver_run(config, steps=2, n=2048)
+        assert m.ack_samples == m.acks_received > 0
+        assert m.ack_latency >= 0.0
+        assert 1 <= m.inflight_peak <= 4

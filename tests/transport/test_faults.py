@@ -114,17 +114,23 @@ class TestFaultInjectionAcceptance:
             transport=transport,
         )
         checksum_failures = 0
+        bytes_in = wire_bytes = 0
         for runner in endpoints:
             assert runner.steps_processed == N_STEPS
             for step, cols in runner.analyses[0].seen:
                 for name, arr in expected_columns(runner, step).items():
                     assert cols[name].tobytes() == arr.tobytes()
-            checksum_failures += sum(
-                r.metrics.checksum_failures
-                for r in runner.receivers.values()
-            )
+            for r in runner.receivers.values():
+                checksum_failures += r.metrics.checksum_failures
+                bytes_in += r.metrics.bytes_in
+                wire_bytes += r.metrics.wire_bytes
         # Corrupt frames were detected (and recovered via withheld ACKs).
         assert checksum_failures > 0
+        # Wire accounting: bytes_in counts every arriving chunk —
+        # corrupt and duplicate ones included — while wire_bytes stays
+        # unique-verified-only, so corrupted traffic never silently
+        # vanishes from the byte-rate signal.
+        assert bytes_in > wire_bytes
 
     def test_cyclic_partitioner_end_to_end(self):
         layout = InTransitLayout(m=5, n=2, partitioner="cyclic")

@@ -39,6 +39,51 @@ class TestCreditWindow:
         with pytest.raises(TransportError):
             CreditWindow(0)
 
+    def test_resize_grow_frees_capacity_immediately(self):
+        w = CreditWindow(1)
+        assert w.try_acquire()
+        assert not w.try_acquire()
+        w.resize(3)
+        assert w.try_acquire() and w.try_acquire()
+        assert not w.try_acquire()
+        assert w.resizes == 1
+
+    def test_resize_shrink_below_inflight_defers(self):
+        """A shrink never strands in-flight credits: outstanding chunks
+        drain through release(), and acquisition stays refused until
+        the count falls under the new limit."""
+        w = CreditWindow(4)
+        for _ in range(4):
+            assert w.try_acquire()
+        w.resize(2)
+        assert w.in_flight == 4  # nothing stranded or clawed back
+        assert w.available == 0
+        assert not w.try_acquire()
+        w.release()  # 3 in flight, still over the new limit
+        assert not w.try_acquire()
+        w.release(2)  # 1 in flight: one credit free again
+        assert w.try_acquire()
+        assert w.in_flight == 2
+        assert not w.try_acquire()
+        w.release(2)  # draining all the way round-trips cleanly
+
+    def test_resize_max_depth_monotonic(self):
+        w = CreditWindow(4)
+        for _ in range(4):
+            w.try_acquire()
+        w.resize(2)
+        assert w.max_depth == 4  # shrink never erases the high-water
+        w.release(4)
+        w.try_acquire()
+        assert w.max_depth == 4
+
+    def test_resize_rejects_less_than_one_credit(self):
+        w = CreditWindow(2)
+        for bad in (0, -1):
+            with pytest.raises(TransportError):
+                w.resize(bad)
+        assert w.credits == 2 and w.resizes == 0
+
 
 class TestRetryPolicy:
     def test_backoff_grows_exponentially(self):

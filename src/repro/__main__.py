@@ -11,8 +11,9 @@ Commands:
   timing decomposition;
 - ``trace``  — like ``run``, additionally writing a Chrome-trace JSON
   of every resource timeline for Perfetto / chrome://tracing;
-- ``lint``   — static location/stream safety analyzer (rules
-  HL001-HL007 from :mod:`repro.analysis`), text or JSON reports;
+- ``lint``   — static location/stream safety analyzer from
+  :mod:`repro.analysis` (the rule range is printed by
+  ``python -m repro lint --help``), text, JSON, or SARIF reports;
 - ``sanitize`` — execute an example script under the runtime
   sanitizer and report cross-location reads, use-after-free, and
   write-while-analyzing races.
@@ -57,14 +58,10 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "trace":
             one.add_argument("--out", default="repro_trace.json")
 
-    lint = sub.add_parser(
-        "lint", help="static location/stream safety analyzer (HL001-HL007)"
-    )
-    lint.add_argument("paths", nargs="*", default=["src"],
-                      help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
-    lint.add_argument("--select", default=None,
-                      help="comma-separated rule ids to run (default: all)")
+    from repro.analysis.lint import add_lint_arguments, describe
+
+    lint = sub.add_parser("lint", help=describe())
+    add_lint_arguments(lint)
 
     sanitize = sub.add_parser(
         "sanitize", help="run an example under the runtime sanitizer"
@@ -155,17 +152,20 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.analysis.lint import lint_paths
-    from repro.analysis.report import format_json, format_text
+    from repro.analysis.lint import lint_paths, render
 
     select = args.select.split(",") if args.select else None
     try:
-        findings = lint_paths(args.paths, select=select)
+        findings = lint_paths(
+            args.paths,
+            select=select,
+            check_suppressions=args.check_suppressions,
+            jobs=args.jobs,
+        )
     except (ValueError, FileNotFoundError) as exc:
         print(f"repro lint: error: {exc}")
         return 2
-    print(format_json(findings) if args.format == "json"
-          else format_text(findings))
+    print(render(findings, args.format))
     return 1 if findings else 0
 
 

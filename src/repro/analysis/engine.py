@@ -5,11 +5,26 @@ A :class:`Rule` inspects one parsed source file and yields
 discovery, parsing, per-line ``# lint: disable=HLxxx`` suppressions,
 and stable ordering of results.
 
+The engine runs in **two passes**.  Pass one discovers and parses every
+file (in parallel — parsing is embarrassingly independent — with the
+results re-ordered so the outcome is deterministic).  Pass two
+evaluates the rules.  Rules that set :attr:`Rule.uses_project` receive
+a :class:`repro.analysis.dataflow.ProjectContext` on their
+:attr:`Rule.project` attribute before pass two: a whole-tree module
+index, call graph, and interprocedural data-flow summaries, letting
+them reason across function and file boundaries.  Single-file rules
+are unaffected.
+
 Suppression syntax (same line as the finding)::
 
     values = buf.data          # lint: disable=HL001
     t = threading.Thread(...)  # lint: disable=HL005,HL001
     anything_at_all()          # lint: disable=all
+
+Suppressions are recognized only in genuine comments (the source is
+tokenized): the same text inside a string or docstring — e.g. a rule's
+own hint text — neither suppresses anything nor counts as a
+suppression for the ``--check-suppressions`` audit.
 
 Findings carry the same structured ``details`` dict format used by
 :class:`~repro.errors.ReproError` subclasses and the runtime sanitizer,
@@ -19,20 +34,29 @@ so static reports, runtime reports, and exceptions line up.
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import dataclasses
 import enum
+import io
+import os
 import re
+import threading
+import tokenize
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 __all__ = [
     "Severity",
     "Finding",
     "FileContext",
+    "FileResult",
     "Rule",
     "iter_python_files",
+    "parse_file",
+    "parse_files",
     "lint_file",
     "run_rules",
+    "run_rules_detailed",
 ]
 
 #: Directories never descended into during file discovery.
@@ -84,15 +108,45 @@ class Finding:
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
+def _comment_lines(source: str) -> dict[int, str] | None:
+    """Line number -> comment text for every real comment, or None if
+    the source cannot be tokenized (syntax too broken)."""
+    out: dict[int, str] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return None
+    return out
+
+
 def parse_suppressions(source: str) -> dict[int, set[str]]:
-    """Map line number (1-based) -> set of suppressed rule ids."""
-    out: dict[int, set[str]] = {}
+    """Map line number (1-based) -> set of suppressed rule ids.
+
+    Only genuine comments count; the tokenizer is consulted for any
+    line the cheap regex matches, so ``disable=`` text embedded in a
+    string literal is ignored.  If tokenization fails (the file will
+    be reported as unparsable anyway) the regex result stands.
+    """
+    candidates: dict[int, str] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
+        if _SUPPRESS_RE.search(text):
+            candidates[lineno] = text
+    if not candidates:
+        return {}
+    comments = _comment_lines(source)
+    out: dict[int, set[str]] = {}
+    for lineno, text in sorted(candidates.items()):
+        if comments is not None:
+            text = comments.get(lineno, "")
         m = _SUPPRESS_RE.search(text)
         if m is None:
             continue
         ids = {part.strip().upper() for part in m.group(1).split(",")}
-        out[lineno] = {i for i in ids if i}
+        ids = {i for i in ids if i}
+        if ids:
+            out[lineno] = ids
     return out
 
 
@@ -124,12 +178,23 @@ class Rule:
     Subclasses set :attr:`id`, :attr:`severity`, :attr:`title`, and
     :attr:`hint`, and implement :meth:`check` as a generator of
     findings (use :meth:`finding` to build them).
+
+    A rule that needs cross-function/cross-file context sets
+    :attr:`uses_project` to True; the engine then builds one
+    :class:`~repro.analysis.dataflow.ProjectContext` over every linted
+    file and assigns it to :attr:`project` before :meth:`check` runs.
     """
 
     id: str = "HL000"
     severity: Severity = Severity.ERROR
     title: str = ""
     hint: str = ""
+
+    #: Opt-in flag: the engine hands project-aware rules a shared
+    #: ProjectContext (module index + data-flow summaries).
+    uses_project: bool = False
+    #: Set by the engine before check() when uses_project is True.
+    project = None  # type: object | None
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -156,10 +221,12 @@ class Rule:
 
 def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
     """Yield every ``.py`` file under ``paths`` (files pass through)."""
+    seen: set[str] = set()
     for entry in paths:
         p = Path(entry)
         if p.is_file():
-            if p.suffix == ".py":
+            if p.suffix == ".py" and str(p) not in seen:
+                seen.add(str(p))
                 yield p
             continue
         if not p.is_dir():
@@ -168,40 +235,160 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             if any(part in _SKIP_DIRS or part.endswith(".egg-info")
                    for part in sub.parts):
                 continue
+            if str(sub) in seen:
+                continue
+            seen.add(str(sub))
             yield sub
 
 
-def lint_file(path: Path | str, rules: Iterable[Rule]) -> list[Finding]:
-    """Run ``rules`` over one file, honoring suppressions."""
+def _error_finding(path: Path, line: int, col: int, message: str,
+                   kind: str) -> Finding:
+    return Finding(
+        rule="HL000",
+        severity=Severity.ERROR,
+        path=str(path),
+        line=line,
+        col=col,
+        message=message,
+        details=(("error", kind),),
+    )
+
+
+#: ast.parse is not thread-safe on CPython 3.11 (concurrent calls can
+#: die with "SystemError: AST constructor recursion depth mismatch"),
+#: and the GIL serializes the CPU-bound parse regardless — the worker
+#: threads only overlap file I/O and tokenization.
+_AST_PARSE_LOCK = threading.Lock()
+
+
+def parse_file(path: Path | str) -> FileContext | Finding:
+    """Parse one file; a structured HL000 finding instead of a crash
+    when the file is not UTF-8 or not valid Python."""
     path = Path(path)
-    source = path.read_text(encoding="utf-8")
     try:
-        tree = ast.parse(source, filename=str(path))
+        source = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        return _error_finding(
+            path, 0, 0,
+            f"could not decode as UTF-8: {exc.reason} at byte {exc.start}",
+            "decode",
+        )
+    except OSError as exc:
+        return _error_finding(path, 0, 0, f"could not read: {exc}", "io")
+    try:
+        with _AST_PARSE_LOCK:
+            tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule="HL000",
-                severity=Severity.ERROR,
-                path=str(path),
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"could not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
-    out: list[Finding] = []
+        return _error_finding(
+            path, exc.lineno or 0, exc.offset or 0,
+            f"could not parse: {exc.msg}", "syntax",
+        )
+    return FileContext(path, source, tree)
+
+
+def _default_jobs() -> int:
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def parse_files(
+    paths: Iterable[Path | str],
+    jobs: int | None = None,
+) -> tuple[list[FileContext], list[Finding]]:
+    """Pass one: parse every file under ``paths`` in parallel.
+
+    Returns ``(contexts, error_findings)``.  The thread pool only
+    accelerates I/O and tokenization; results are re-assembled in
+    discovery order so the outcome is bit-identical to a serial run.
+    """
+    files = list(iter_python_files(paths))
+    jobs = jobs if jobs and jobs > 0 else _default_jobs()
+    if len(files) <= 1 or jobs == 1:
+        results = [parse_file(f) for f in files]
+    else:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(parse_file, files))
+    contexts = [r for r in results if isinstance(r, FileContext)]
+    errors = [r for r in results if isinstance(r, Finding)]
+    return contexts, errors
+
+
+@dataclasses.dataclass
+class FileResult:
+    """Per-file outcome of a lint run (pre- and post-suppression)."""
+
+    ctx: FileContext
+    findings: list[Finding]  # kept (suppressions applied)
+    raw: list[Finding]       # every finding the rules produced
+
+
+def _build_project(contexts: Sequence[FileContext]):
+    from repro.analysis.dataflow import ProjectContext
+
+    return ProjectContext.build(contexts)
+
+
+def _check_contexts(
+    contexts: Sequence[FileContext],
+    rules: Sequence[Rule],
+) -> list[FileResult]:
+    project = None
+    if any(r.uses_project for r in rules):
+        project = _build_project(contexts)
     for rule in rules:
-        for f in rule.check(ctx):
-            if not ctx.is_suppressed(f.line, f.rule):
-                out.append(f)
+        if rule.uses_project:
+            rule.project = project
+    out: list[FileResult] = []
+    for ctx in contexts:
+        kept: list[Finding] = []
+        raw: list[Finding] = []
+        for rule in rules:
+            for f in rule.check(ctx):
+                raw.append(f)
+                if not ctx.is_suppressed(f.line, f.rule):
+                    kept.append(f)
+        out.append(FileResult(ctx=ctx, findings=kept, raw=raw))
     return out
 
 
-def run_rules(paths: Iterable[Path | str], rules: Iterable[Rule]) -> list[Finding]:
-    """Lint every python file under ``paths``; stable ordering."""
+def lint_file(path: Path | str, rules: Iterable[Rule]) -> list[Finding]:
+    """Run ``rules`` over one file, honoring suppressions.
+
+    Project-aware rules see a single-file project: cross-function
+    reasoning within the file still works, cross-file edges resolve to
+    nothing.
+    """
+    parsed = parse_file(path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    results = _check_contexts([parsed], list(rules))
+    return results[0].findings
+
+
+def run_rules_detailed(
+    paths: Iterable[Path | str],
+    rules: Iterable[Rule],
+    jobs: int | None = None,
+) -> tuple[list[FileResult], list[Finding]]:
+    """Two-pass lint returning per-file raw/kept findings.
+
+    Returns ``(file_results, parse_error_findings)``; used by the
+    suppression audit, which needs to know what each suppression
+    actually silenced.
+    """
     rules = list(rules)
-    findings: list[Finding] = []
-    for f in iter_python_files(paths):
-        findings.extend(lint_file(f, rules))
+    contexts, errors = parse_files(paths, jobs=jobs)
+    return _check_contexts(contexts, rules), errors
+
+
+def run_rules(
+    paths: Iterable[Path | str],
+    rules: Iterable[Rule],
+    jobs: int | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths``; stable ordering."""
+    results, errors = run_rules_detailed(paths, rules, jobs=jobs)
+    findings = list(errors)
+    for r in results:
+        findings.extend(r.findings)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

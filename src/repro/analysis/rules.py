@@ -1,15 +1,18 @@
-"""The built-in rules (HL001-HL008) targeting this codebase's idioms.
+"""The built-in rules (HL001-HL010) targeting this codebase's idioms.
 
 Each rule encodes one of the correctness hazards the heterogeneous
 substrate permits mechanically (see :mod:`repro.hamr.buffer`): the
 linter's job is to make them visible before the sanitizer has to catch
 them at run time.
 
-The rules are static heuristics over names and keywords — they resolve
-``Allocator``/``PMKind``/``StreamMode`` members against the real enums
-but do not do type inference.  False positives are expected to be rare
-in this tree and are silenced with ``# lint: disable=HLxxx`` plus a
-justification comment.
+Most rules are static heuristics over names and keywords — they
+resolve ``Allocator``/``PMKind``/``StreamMode`` members against the
+real enums but do not do type inference.  The *project rules*
+(HL003, HL008, HL009, HL010) additionally opt into the engine's
+:class:`~repro.analysis.dataflow.ProjectContext` and reason across
+function and file boundaries through bounded data-flow summaries.
+False positives are expected to be rare in this tree and are silenced
+with ``# lint: disable=HLxxx`` plus a justification comment.
 """
 
 from __future__ import annotations
@@ -29,8 +32,12 @@ __all__ = [
     "SwallowedErrorRule",
     "PoolLeakRule",
     "PlacementChargeRule",
+    "PoolEscapeRule",
+    "NondeterministicDecisionRule",
+    "ProjectRule",
     "DEFAULT_RULES",
     "default_rules",
+    "rule_span",
 ]
 
 
@@ -184,17 +191,46 @@ class AllocatorMismatchRule(Rule):
                 )
 
 
+# -- project rules ------------------------------------------------------------
+
+class ProjectRule(Rule):
+    """Base for rules that reason across function and file boundaries.
+
+    The engine hands these a shared
+    :class:`~repro.analysis.dataflow.ProjectContext` (module index,
+    call graph, data-flow summaries).  Used standalone — outside the
+    engine — they degrade gracefully to a single-file project, keeping
+    cross-function reasoning within the file.
+    """
+
+    uses_project = True
+
+    def project_for(self, ctx: FileContext):
+        if self.project is not None:
+            return self.project
+        from repro.analysis.dataflow import ProjectContext
+
+        return ProjectContext.build([ctx])
+
+
 # -- HL003 --------------------------------------------------------------------
 
-class UnsynchronizedStreamRule(Rule):
+class UnsynchronizedStreamRule(ProjectRule):
     """A stream created and used asynchronously but never synchronized.
 
-    Within one function: ``s = Stream(...)`` followed by a call passing
-    ``stream=s`` together with ``mode=StreamMode.ASYNC`` (or
-    ``stream_mode=StreamMode.ASYNC``) is flagged unless the function
-    also synchronizes *something* (``.synchronize()``/``.drain()``),
-    returns the stream, or stores it on ``self`` — i.e. unless the
-    completion is someone's responsibility.
+    ``s = Stream(...)`` followed by asynchronous use (a call passing
+    ``stream=s`` with ``mode=StreamMode.ASYNC`` / ``stream_mode=...``)
+    is flagged unless the function also synchronizes *something*
+    (``.synchronize()``/``.drain()``), returns the stream, or stores it
+    on ``self`` — i.e. unless the completion is someone's
+    responsibility.
+
+    Interprocedural: the async use may happen inside a callee the
+    stream is passed to, the stream may have been minted by a helper
+    (``s = make_stream()``), and a callee that synchronizes the
+    parameter discharges the obligation — all tracked through
+    :class:`~repro.analysis.dataflow.StreamAnalysis` summaries with
+    bounded call depth.
     """
 
     id = "HL003"
@@ -207,48 +243,27 @@ class UnsynchronizedStreamRule(Rule):
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for fn in ast.walk(ctx.tree):
-            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        proj = self.project_for(ctx)
+        seen: set[tuple[int, int, str]] = set()
+        for fn, _fi in proj.iter_file_functions(ctx):
+            scope = proj.scope(ctx, fn)
+            facts = proj.streams.facts(fn, scope)
+            if facts.any_sync:
                 continue
-            created: dict[str, ast.Call] = {}
-            async_used: set[str] = set()
-            discharged = False
-            escaped: set[str] = set()
-            for node in ast.walk(fn):
-                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-                    if _attr_name(node.value.func) == "Stream":
-                        for tgt in node.targets:
-                            if isinstance(tgt, ast.Name):
-                                created[tgt.id] = node.value
-                            elif isinstance(tgt, ast.Attribute):
-                                # stored on an object: lifetime escapes
-                                pass
-                if isinstance(node, ast.Call):
-                    fname = _attr_name(node.func)
-                    if fname in ("synchronize", "drain", "wait_event"):
-                        discharged = True
-                    kws = _keywords(node)
-                    stream_kw = kws.get("stream")
-                    mode_kw = kws.get("mode") or kws.get("stream_mode")
-                    if (
-                        isinstance(stream_kw, ast.Name)
-                        and _attr_name(mode_kw) == "ASYNC"
-                    ):
-                        async_used.add(stream_kw.id)
-                if isinstance(node, ast.Return) and node.value is not None:
-                    for sub in ast.walk(node.value):
-                        if isinstance(sub, ast.Name):
-                            escaped.add(sub.id)
-                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
-                    for tgt in node.targets:
-                        if isinstance(tgt, ast.Attribute):
-                            escaped.add(node.value.id)
-            if discharged:
-                continue
-            for name in sorted(async_used & set(created) - escaped):
+            leaked = (
+                (facts.async_used & set(facts.created))
+                - facts.escaped
+                - facts.synced
+            )
+            for name in sorted(leaked):
+                node = facts.created[name]
+                key = (node.lineno, node.col_offset, name)
+                if key in seen:
+                    continue
+                seen.add(key)
                 yield self.finding(
                     ctx,
-                    created[name],
+                    node,
                     f"stream {name!r} orders asynchronous work but is "
                     "never synchronized in this function",
                     details={"stream": name, "stream_mode": "async"},
@@ -485,7 +500,7 @@ class PoolLeakRule(Rule):
 
 # -- HL008 --------------------------------------------------------------------
 
-class PlacementChargeRule(Rule):
+class PlacementChargeRule(ProjectRule):
     """Work charged to a device other than the resolved placement.
 
     The placement formula (Eq. 1) exists so every rank charges its in
@@ -512,43 +527,272 @@ class PlacementChargeRule(Rule):
         "suppress with '# lint: disable=HL008' and a justification"
     )
 
-    _resolvers = ("resolve", "resolve_device", "select_device")
-
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for fn in ast.walk(ctx.tree):
-            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            resolved: set[str] = set()
-            for node in ast.walk(fn):
-                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-                    if _attr_name(node.value.func) in self._resolvers:
-                        for tgt in node.targets:
-                            if isinstance(tgt, ast.Name):
-                                resolved.add(tgt.id)
-            if not resolved:
-                continue  # nothing resolved here: not this rule's business
-            for node in ast.walk(fn):
-                if not isinstance(node, ast.Call):
+        proj = self.project_for(ctx)
+        seen: set[tuple[int, int, int]] = set()
+        for fn, _fi in proj.iter_file_functions(ctx):
+            scope = proj.scope(ctx, fn)
+            facts = proj.charges.facts(fn, scope)
+            resolved = facts.resolved_names
+            if resolved:
+                for call, dev in facts.literal_kw:
+                    if dev < 0:
+                        continue  # host staging (exempt)
+                    key = (call.lineno, call.col_offset, dev)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"call charges device {dev} although this function "
+                        f"resolved the placement into "
+                        f"{'/'.join(sorted(resolved))}",
+                        details={
+                            "device_id": dev,
+                            "resolved": ", ".join(sorted(resolved)),
+                        },
+                    )
+            for call, dev, callee, callee_resolves in facts.literal_via_helper:
+                if dev < 0:
+                    continue  # host staging (exempt)
+                if not (resolved or callee_resolves):
+                    continue  # no placement in sight: manual choice
+                key = (call.lineno, call.col_offset, dev)
+                if key in seen:
                     continue
-                if _attr_name(node.func) in self._resolvers:
-                    continue  # the resolving call itself
-                kws = _keywords(node)
-                if "device_id" not in kws:
-                    continue
-                dev = _literal_device_id(kws["device_id"])
-                if dev is None or dev < 0:
-                    continue  # non-literal, or host staging (exempt)
+                seen.add(key)
+                where = (
+                    f"this function resolved the placement into "
+                    f"{'/'.join(sorted(resolved))}"
+                    if resolved
+                    else f"'{callee}' resolves the placement itself"
+                )
                 yield self.finding(
                     ctx,
-                    node,
-                    f"call charges device {dev} although this function "
-                    f"resolved the placement into "
-                    f"{'/'.join(sorted(resolved))}",
+                    call,
+                    f"literal device {dev} flows through '{callee}' into "
+                    f"charged work although {where}",
                     details={
                         "device_id": dev,
+                        "via": callee,
                         "resolved": ", ".join(sorted(resolved)),
                     },
                 )
+
+
+# -- HL009 --------------------------------------------------------------------
+
+class PoolEscapeRule(ProjectRule):
+    """A pool handle leaking across a function boundary.
+
+    HL007 deliberately exempts an acquired pool that *escapes* its
+    function — returned, stored, or handed to a callee — because
+    releasing is then visibly someone else's responsibility.  This rule
+    follows the escape: a ``pool_for``/``acquire`` result handed back
+    by a helper must be released, trimmed, re-escaped, or passed to a
+    releasing callee by the receiver; a handle discarded outright, or
+    passed into a callee that provably never releases it while the
+    local release discharged something *else*, leaks the block's
+    footprint with no path to reclaim it.
+    """
+
+    id = "HL009"
+    severity = Severity.WARNING
+    title = "pool handle leaks across a function boundary"
+    hint = (
+        "release/trim the pool handle the helper returned, hand it to "
+        "an owner that will, or keep the acquire/release pair in one "
+        "scope; deliberate transfer may suppress with "
+        "'# lint: disable=HL009' and a justification"
+    )
+
+    #: Same layers HL007 exempts: they split acquire/release by design.
+    allowed = ("repro/hamr/buffer.py", "repro/hamr/pool.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.in_module(*self.allowed):
+            return
+        proj = self.project_for(ctx)
+        seen: set[tuple[int, int, str]] = set()
+
+        def emit(node, message, **details):
+            key = (node.lineno, node.col_offset, message)
+            if key in seen:
+                return None
+            seen.add(key)
+            return self.finding(ctx, node, message, details=details)
+
+        for fn, _fi in proj.iter_file_functions(ctx):
+            scope = proj.scope(ctx, fn)
+            facts = proj.pools.facts(fn, scope)
+
+            def kept_locally(name):
+                return (
+                    name in facts.released
+                    or name in facts.returned
+                    or name in facts.attr_stored
+                )
+
+            def discharged_by_pass(name):
+                return any(
+                    proj.pools.param_released_by(resolved, param)
+                    for _call, resolved, param in facts.passes.get(name, ())
+                )
+
+            for name in sorted(facts.callee_pools):
+                call, origin = facts.callee_pools[name]
+                if kept_locally(name) or discharged_by_pass(name):
+                    continue
+                f = emit(
+                    call,
+                    f"pool handle acquired in '{origin}' is never "
+                    "released or trimmed on any path from here",
+                    pool=name,
+                    origin=origin,
+                )
+                if f:
+                    yield f
+            for call, origin in facts.discarded:
+                f = emit(
+                    call,
+                    f"acquired pool handle returned by '{origin}' is "
+                    "discarded without release",
+                    origin=origin,
+                )
+                if f:
+                    yield f
+            # A local acquire whose only escape is into a callee that
+            # provably never releases it: HL007's same-scope discharge
+            # (any release/trim present) hides exactly this case.
+            if not facts.any_release:
+                continue
+            for name in sorted(set(facts.local_pools) & facts.acquired):
+                if kept_locally(name):
+                    continue
+                passes = facts.passes.get(name, ())
+                if not passes or discharged_by_pass(name):
+                    continue
+                call, resolved, _param = passes[0]
+                f = emit(
+                    call,
+                    f"pool handle escapes into '{resolved.func.qualname}' "
+                    "which never releases or trims it",
+                    pool=name,
+                    callee=resolved.func.qualname,
+                )
+                if f:
+                    yield f
+
+
+# -- HL010 --------------------------------------------------------------------
+
+class NondeterministicDecisionRule(ProjectRule):
+    """Nondeterminism feeding a governor :class:`Decision`.
+
+    The control plane's contract (PRs 3-5) is bit-identical decisions
+    across ranks and reruns.  This rule statically guards it: inside
+    any function on a *decision path* — one that constructs a
+    ``repro.control.governors.Decision``, directly feeds one (its
+    callers), or computes values for one (their callees, bounded
+    depth) — it flags:
+
+    - wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
+      ``datetime.now``/``utcnow``/``today``),
+    - module-level ``random.*`` calls and unseeded ``random.Random()``
+      (a seeded ``random.Random(seed)`` instance is the sanctioned
+      source of randomness),
+    - iteration over ``.keys()``/``.values()``/``.items()`` or
+      ``set(...)`` in ``for`` loops and comprehensions without a
+      ``sorted(...)`` wrapper — insertion order is rank-local, so
+      dict-order dependence breaks cross-rank agreement.
+
+    The simulated clock (``current_clock()``, ``clock.now``) and
+    seeded RNG instances are allowlisted by construction: neither
+    matches the patterns above.
+    """
+
+    id = "HL010"
+    severity = Severity.WARNING
+    title = "nondeterminism on a governor decision path"
+    hint = (
+        "use the simulated clock (current_clock().now), a seeded "
+        "random.Random(seed), and sorted(...) iteration so decisions "
+        "replay bit-identically across ranks and reruns; display-only "
+        "uses may suppress with '# lint: disable=HL010' and a "
+        "justification"
+    )
+
+    _wallclock = frozenset({
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        proj = self.project_for(ctx)
+        if proj.index.module_for(ctx) is None:
+            return
+        seen: set[tuple[int, int, str]] = set()
+        for fn, fi in proj.iter_file_functions(ctx):
+            if fi is None:
+                continue  # nested defs are scanned with their parent
+            anchor = proj.decisions.anchor(fi)
+            if anchor is None:
+                continue
+            scope = proj.scope(ctx, fn)
+            for node, source in self._nondet_sites(fn, scope):
+                key = (node.lineno, node.col_offset, source)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{source} on the decision path through "
+                    f"'{anchor.rsplit('.', 2)[-1]}' breaks bit-identical "
+                    "replay",
+                    details={"anchor": anchor, "source": source},
+                )
+
+    def _nondet_sites(self, fn, scope):
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                canon = scope.canonical(node.func)
+                if canon in self._wallclock:
+                    yield node, f"wall-clock read '{canon}'"
+                elif canon == "random.Random":
+                    if not (node.args or node.keywords):
+                        yield node, "unseeded 'random.Random()'"
+                elif canon is not None and canon.startswith("random."):
+                    yield node, f"module-level RNG call '{canon}'"
+            for it in self._iter_exprs(node):
+                kind = self._unordered_iter(it)
+                if kind is not None:
+                    yield it, f"order-dependent iteration over {kind}"
+
+    @staticmethod
+    def _iter_exprs(node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+
+    @staticmethod
+    def _unordered_iter(it) -> str | None:
+        if not isinstance(it, ast.Call):
+            return None
+        if isinstance(it.func, ast.Attribute) and it.func.attr in (
+            "keys", "values", "items"
+        ):
+            return f"'.{it.func.attr}()'"
+        if isinstance(it.func, ast.Name) and it.func.id == "set":
+            return "'set(...)'"
+        return None
 
 
 DEFAULT_RULES: tuple[type[Rule], ...] = (
@@ -560,9 +804,18 @@ DEFAULT_RULES: tuple[type[Rule], ...] = (
     SwallowedErrorRule,
     PoolLeakRule,
     PlacementChargeRule,
+    PoolEscapeRule,
+    NondeterministicDecisionRule,
 )
 
 
 def default_rules() -> list[Rule]:
     """Fresh instances of every built-in rule."""
     return [cls() for cls in DEFAULT_RULES]
+
+
+def rule_span() -> str:
+    """Human-readable id range of the built-in rules, e.g.
+    ``HL001-HL010`` — derived so CLI help can never drift again."""
+    ids = sorted(cls.id for cls in DEFAULT_RULES)
+    return f"{ids[0]}-{ids[-1]}" if len(ids) > 1 else ids[0]

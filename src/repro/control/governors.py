@@ -265,7 +265,7 @@ class CodecGovernor(Governor):
             detail = {"policy": "bandit", "pulls": self._bandit.pulls}
         else:
             costs = {c: self.predict_cost(c) for c in self.codecs}
-            if any(v is None for v in costs.values()):
+            if any(costs[c] is None for c in self.codecs):
                 return None  # estimates not warm yet
             choice = min(self.codecs, key=lambda c: costs[c])
             if choice == self.current:
@@ -435,7 +435,7 @@ class PlacementGovernor(Governor):
     def scores(self) -> dict[int, float]:
         """Effective load per device: busy fraction × contention dilation."""
         out = {}
-        for d, load in self._loads.items():
+        for d, load in sorted(self._loads.items()):
             sharers = max(0, self._parties.get(d, 1) - 1)
             out[d] = load * self.contention.dilation(
                 SharedResource.GPU_COMPUTE, sharers

@@ -1,0 +1,85 @@
+"""Fixture: HL009 — pool handle leaks across a function boundary.
+
+Never executed; parsed by the linter in tests/analysis/test_rules.py.
+Lines carrying a violation are marked with a trailing `# expect: HLxxx`
+comment the test harness reads back.  The helpers at the bottom are
+resolved interprocedurally — the whole point of this rule.
+"""
+
+from repro.hamr.buffer import pool_for
+
+
+def drops_helper_handle(pm, payload):
+    handle = make_pool(pm, payload)  # expect: HL009
+    payload.scale(2.0)
+
+
+def discards_helper_result(pm, payload):
+    make_pool(pm, payload)  # expect: HL009
+    payload.scale(2.0)
+
+
+def splits_ownership(pm, payload):
+    scratch = pool_for(pm, 0)
+    scratch.acquire(payload.nbytes)
+    stash = pool_for(pm, 1)
+    stash.acquire(payload.nbytes)
+    consume(stash)  # expect: HL009
+    scratch.release(payload.nbytes)
+
+
+def releases_helper_handle(pm, payload):
+    handle = make_pool(pm, payload)
+    payload.scale(2.0)
+    handle.release(payload.nbytes)
+
+
+def reescapes_helper_handle(pm, payload):
+    # Handing the handle back up keeps the obligation visible.
+    handle = make_pool(pm, payload)
+    return handle
+
+
+def stores_helper_handle(self, pm, payload):
+    # Stored on self: the owner object's teardown is responsible.
+    handle = make_pool(pm, payload)
+    self._pool = handle
+
+
+def passes_to_releaser(pm, payload):
+    handle = make_pool(pm, payload)
+    finish(handle, payload)
+
+
+def pairs_in_one_scope(pm, payload):
+    # HL007's home turf — acquire and release stay together.
+    pool = pool_for(pm, 0)
+    pool.acquire(payload.nbytes)
+    payload.scale(2.0)
+    pool.release(payload.nbytes)
+
+
+def adopted_elsewhere(pm, payload, registry):
+    # Unresolvable receiver: the linter gives it the benefit of the
+    # doubt rather than inventing a leak it cannot prove.
+    handle = make_pool(pm, payload)
+    registry.adopt(handle)
+
+
+def deliberate_transfer(pm, payload):
+    handle = make_pool(pm, payload)  # lint: disable=HL009
+    payload.scale(2.0)
+
+
+def make_pool(pm, payload):
+    pool = pool_for(pm, 0)
+    pool.acquire(payload.nbytes)
+    return pool
+
+
+def finish(pool, payload):
+    pool.release(payload.nbytes)
+
+
+def consume(pool):
+    return pool.available()

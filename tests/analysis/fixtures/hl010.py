@@ -1,0 +1,65 @@
+"""Fixture: HL010 — nondeterminism on a governor decision path.
+
+Never executed; parsed by the linter in tests/analysis/test_rules.py.
+Lines carrying a violation are marked with a trailing `# expect: HLxxx`
+comment the test harness reads back.  ``decide`` constructs a
+``Decision``, so it, its caller ``step``, and its callees ``score``
+and ``jitter`` are on the decision path; ``report`` is not.
+"""
+
+import random
+import time
+from datetime import datetime
+
+from repro.control.governors import Decision
+from repro.hamr.runtime import current_clock
+
+
+def decide(self, step, metrics):
+    stamp = time.time()  # expect: HL010
+    for name, value in metrics.items():  # expect: HL010
+        self.record(name, value)
+    ranked = score(self, metrics)
+    base = jitter(self, step, metrics)
+    return Decision(
+        step=step, kind="codec", value=ranked,
+        reason=f"score={ranked} base={base} at {stamp}",
+    )
+
+
+def step(self, step_no, metrics):
+    # Direct caller of the Decision maker: also on the path.
+    wall = datetime.now()  # expect: HL010
+    if wall.second % 2:
+        return None
+    return decide(self, step_no, metrics)
+
+
+def score(self, loads):
+    # Callee of the maker (bounded-depth BFS): still on the path.
+    noise = random.random()  # expect: HL010
+    rng = random.Random()  # expect: HL010
+    return sum(v for v in sorted(loads.values())) + noise + rng.random()
+
+
+def jitter(self, seed, loads):
+    # The sanctioned sources: simulated clock, seeded RNG, sorted().
+    now = current_clock().now
+    rng = random.Random(seed)
+    total = sum(loads[k] for k in sorted(loads.keys()))
+    return total + rng.uniform(0.0, 1e-3) + now
+
+
+def suppressed_display_only(self, step_no, metrics):
+    started = time.monotonic()  # lint: disable=HL010
+    d = decide(self, step_no, metrics)
+    elapsed = time.monotonic() - started  # lint: disable=HL010
+    self.log(f"decide took {elapsed:.3g}s")
+    return d
+
+
+def report(metrics):
+    # Not on any decision path: wall-clock and dict order are fine here.
+    stamp = time.time()
+    lines = [f"{k}={v}" for k, v in metrics.items()]
+    return stamp, lines

@@ -1,0 +1,217 @@
+"""Unit tests for the interprocedural data-flow layer
+(repro.analysis.dataflow): summaries, widening, depth bounds, decision
+paths, and cross-file propagation through the lint pipeline."""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import (
+    MAX_CALL_DEPTH,
+    PoolAnalysis,
+    ProjectContext,
+    StreamAnalysis,
+)
+from repro.analysis.engine import parse_file
+from repro.analysis.lint import lint_paths
+
+
+def _proj(tmp_path, source, name="mod.py"):
+    p = tmp_path / name
+    p.write_text(source)
+    return ProjectContext.build([parse_file(p)])
+
+
+class TestStreamSummaries:
+    def test_sync_and_async_params(self, tmp_path):
+        proj = _proj(tmp_path, (
+            "def finish(strm, clock):\n"
+            "    strm.synchronize(clock)\n"
+            "\n"
+            "def fire(copy, buf, strm):\n"
+            "    copy(buf, stream=strm, mode=StreamMode.ASYNC)\n"
+            "\n"
+            "def mint():\n"
+            "    s = Stream(device_id=0)\n"
+            "    return s\n"
+        ))
+        finish = proj.streams.summary(proj.index.functions["mod.finish"])
+        assert finish.syncs == frozenset({"strm"})
+        assert not finish.async_unsynced
+        fire = proj.streams.summary(proj.index.functions["mod.fire"])
+        assert fire.async_unsynced == frozenset({"strm"})
+        mint = proj.streams.summary(proj.index.functions["mod.mint"])
+        assert mint.returns_fresh
+
+    def test_recursion_terminates_and_widens_safe(self, tmp_path):
+        assert StreamAnalysis.widened.syncs_all
+        proj = _proj(tmp_path, (
+            "def ping(strm):\n"
+            "    pong(strm)\n"
+            "\n"
+            "def pong(strm):\n"
+            "    ping(strm)\n"
+        ))
+        s = proj.streams.summary(proj.index.functions["mod.ping"])
+        # The cycle widens to "assume discharged": never a hazard.
+        assert not s.async_unsynced
+
+    def test_depth_bound_silences_instead_of_guessing(self, tmp_path):
+        depth = MAX_CALL_DEPTH + 1
+        chain = "".join(
+            f"def h{i}(copy, buf, strm):\n"
+            f"    h{i + 1}(copy, buf, strm)\n\n"
+            for i in range(depth)
+        )
+        chain += (
+            f"def h{depth}(copy, buf, strm):\n"
+            "    copy(buf, stream=strm, mode=StreamMode.ASYNC)\n"
+            "\n"
+            "def caller(copy, buf):\n"
+            "    strm = Stream(device_id=0)\n"
+            "    h0(copy, buf, strm)\n"
+        )
+        p = tmp_path / "deep.py"
+        p.write_text(chain)
+        # The async use is beyond the depth bound: widened means
+        # "assume safe", so no finding — never a false positive.
+        assert lint_paths([p], select=["HL003"]) == []
+
+    def test_shallow_chain_is_still_flagged(self, tmp_path):
+        p = tmp_path / "shallow.py"
+        p.write_text(
+            "def inner(copy, buf, strm):\n"
+            "    copy(buf, stream=strm, mode=StreamMode.ASYNC)\n"
+            "\n"
+            "def outer(copy, buf, strm):\n"
+            "    inner(copy, buf, strm)\n"
+            "\n"
+            "def caller(copy, buf):\n"
+            "    strm = Stream(device_id=0)\n"
+            "    outer(copy, buf, strm)\n"
+        )
+        findings = lint_paths([p], select=["HL003"])
+        assert [(f.rule, f.line) for f in findings] == [("HL003", 8)]
+
+
+class TestChargeSummaries:
+    def test_charging_params_and_resolves(self, tmp_path):
+        proj = _proj(tmp_path, (
+            "def launch(payload, device_id):\n"
+            "    run(payload, device_id=device_id)\n"
+            "\n"
+            "def picks(self, payload):\n"
+            "    dev = self.resolve_device()\n"
+            "    return dev\n"
+        ))
+        launch = proj.charges.summary(proj.index.functions["mod.launch"])
+        assert launch.charging == frozenset({"device_id"})
+        assert not launch.resolves
+        picks = proj.charges.summary(proj.index.functions["mod.picks"])
+        assert picks.resolves
+
+
+class TestPoolSummaries:
+    def test_returns_unreleased_and_releasing_param(self, tmp_path):
+        proj = _proj(tmp_path, (
+            "def make_pool(pm, payload):\n"
+            "    pool = pool_for(pm, 0)\n"
+            "    pool.acquire(payload.nbytes)\n"
+            "    return pool\n"
+            "\n"
+            "def balanced(pm, payload):\n"
+            "    pool = pool_for(pm, 0)\n"
+            "    pool.acquire(payload.nbytes)\n"
+            "    pool.release(payload.nbytes)\n"
+            "    return pool\n"
+            "\n"
+            "def finish(pool, payload):\n"
+            "    pool.release(payload.nbytes)\n"
+        ))
+        make = proj.pools.summary(proj.index.functions["mod.make_pool"])
+        assert make.returns_unreleased
+        balanced = proj.pools.summary(proj.index.functions["mod.balanced"])
+        assert not balanced.returns_unreleased
+        finish = proj.pools.summary(proj.index.functions["mod.finish"])
+        assert finish.releases == frozenset({"pool"})
+
+    def test_unresolvable_callee_gets_benefit_of_the_doubt(self, tmp_path):
+        proj = _proj(tmp_path, "x = 1\n")
+        assert proj.pools.param_released_by(None, None)
+        assert PoolAnalysis.widened.releases_all
+
+
+class TestDecisionPaths:
+    SOURCE = (
+        "from repro.control.governors import Decision\n"
+        "\n"
+        "def make(step):\n"
+        "    d1(step)\n"
+        "    return Decision(step=step, kind='k', value=1, reason='r')\n"
+        "\n"
+        "def caller(step):\n"
+        "    return make(step)\n"
+        "\n"
+        "def d1(x):\n"
+        "    return d2(x)\n"
+        "\n"
+        "def d2(x):\n"
+        "    return d3(x)\n"
+        "\n"
+        "def d3(x):\n"
+        "    return d4(x)\n"
+        "\n"
+        "def d4(x):\n"
+        "    return x\n"
+        "\n"
+        "def unrelated(x):\n"
+        "    return x\n"
+    )
+
+    def test_membership_and_depth_bound(self, tmp_path):
+        proj = _proj(tmp_path, self.SOURCE)
+        fns = proj.index.functions
+        anchor = proj.decisions.anchor
+        assert anchor(fns["mod.make"]) == "mod.make"
+        assert anchor(fns["mod.caller"]) == "mod.caller"
+        # Callees of the maker inherit its anchor, three hops deep.
+        assert anchor(fns["mod.d1"]) == "mod.make"
+        assert anchor(fns["mod.d3"]) == "mod.make"
+        assert anchor(fns["mod.d4"]) is None
+        assert anchor(fns["mod.unrelated"]) is None
+
+
+class TestCrossFileFlow:
+    FILES = {
+        "flowpkg/__init__.py": "",
+        "flowpkg/work.py": (
+            "from repro.hamr.stream import StreamMode\n"
+            "\n"
+            "def run_async(copy, buf, strm):\n"
+            "    copy(buf, stream=strm, mode=StreamMode.ASYNC)\n"
+            "\n"
+            "def settle(strm, clock):\n"
+            "    strm.synchronize(clock)\n"
+        ),
+        "flowpkg/driver.py": (
+            "from repro.hamr.stream import Stream\n"
+            "\n"
+            "from flowpkg.work import run_async, settle\n"
+            "\n"
+            "def leaks(copy, buf):\n"
+            "    strm = Stream(device_id=0)\n"
+            "    run_async(copy, buf, strm)\n"
+            "\n"
+            "def clean(copy, buf, clock):\n"
+            "    strm = Stream(device_id=0)\n"
+            "    run_async(copy, buf, strm)\n"
+            "    settle(strm, clock)\n"
+        ),
+    }
+
+    def test_async_use_in_sibling_module_is_tracked(self, tmp_path):
+        for rel, src in self.FILES.items():
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(src)
+        findings = lint_paths([tmp_path / "flowpkg"], select=["HL003"])
+        assert [(f.rule, f.line) for f in findings] == [("HL003", 6)]
+        assert findings[0].path.endswith("driver.py")

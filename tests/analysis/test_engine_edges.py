@@ -1,0 +1,106 @@
+"""Edge cases of the two-pass rule engine: parse errors, discovery
+pruning, suppression parsing, and deterministic parallel parsing."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    Severity,
+    iter_python_files,
+    parse_file,
+    parse_files,
+    parse_suppressions,
+    run_rules,
+)
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import default_rules
+
+
+class TestParseErrors:
+    def test_non_utf8_file_reported_not_raised(self, tmp_path):
+        p = tmp_path / "latin.py"
+        p.write_bytes(b"x = '\xff\xfe'\n")
+        result = parse_file(p)
+        assert isinstance(result, Finding)
+        assert result.rule == "HL000"
+        assert result.severity is Severity.ERROR
+        assert result.details_dict["error"] == "decode"
+
+    def test_syntax_error_carries_location_and_kind(self, tmp_path):
+        p = tmp_path / "broken.py"
+        p.write_text("def f(:\n")
+        result = parse_file(p)
+        assert isinstance(result, Finding)
+        assert result.details_dict["error"] == "syntax"
+        assert result.line == 1
+
+    def test_run_rules_surfaces_parse_errors_with_findings(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "dirty.py").write_text("def f(b):\n    return b._data\n")
+        findings = run_rules([tmp_path], default_rules())
+        assert {f.rule for f in findings} == {"HL000", "HL001"}
+
+
+class TestDiscovery:
+    def test_skip_dirs_and_egg_info_are_pruned(self, tmp_path):
+        bad = "def f(b):\n    return b._data\n"
+        (tmp_path / "good.py").write_text("x = 1\n")
+        for skipped in ("__pycache__", ".venv", "node_modules",
+                        "repro.egg-info"):
+            d = tmp_path / skipped
+            d.mkdir()
+            (d / "bad.py").write_text(bad)
+        files = list(iter_python_files([tmp_path]))
+        assert [f.name for f in files] == ["good.py"]
+        assert lint_paths([tmp_path]) == []
+
+    def test_duplicate_paths_are_deduped(self, tmp_path):
+        p = tmp_path / "one.py"
+        p.write_text("x = 1\n")
+        files = list(iter_python_files([p, p, tmp_path]))
+        assert files == [p]
+
+
+class TestSuppressionParsing:
+    def test_disable_all_is_case_insensitive(self, tmp_path):
+        for variant in ("all", "ALL", "All"):
+            p = tmp_path / f"m_{variant}.py"
+            p.write_text(
+                f"def f(b):\n    return b.data  # lint: disable={variant}\n"
+            )
+            assert lint_paths([p]) == []
+
+    def test_rule_ids_are_case_insensitive(self, tmp_path):
+        p = tmp_path / "m.py"
+        p.write_text("def f(b):\n    return b.data  # lint: disable=hl001\n")
+        assert lint_paths([p]) == []
+
+    def test_string_embedded_disable_text_is_not_a_suppression(self):
+        source = (
+            "def f(b):\n"
+            "    return b.data, '# lint: disable=HL001'\n"
+        )
+        assert parse_suppressions(source) == {}
+
+    def test_docstring_disable_text_is_not_a_suppression(self):
+        source = (
+            'HINT = """suppress with\n'
+            "# lint: disable=HL001\n"
+            'when deliberate"""\n'
+        )
+        assert parse_suppressions(source) == {}
+
+    def test_real_comment_still_counts(self):
+        source = "x = 1  # lint: disable=HL001,HL005\n"
+        assert parse_suppressions(source) == {1: {"HL001", "HL005"}}
+
+
+class TestParallelParsing:
+    def test_parse_files_is_deterministic_across_job_counts(self, tmp_path):
+        for i in range(12):
+            (tmp_path / f"m{i:02d}.py").write_text(f"x = {i}\n")
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        serial_ctx, serial_err = parse_files([tmp_path], jobs=1)
+        parallel_ctx, parallel_err = parse_files([tmp_path], jobs=4)
+        assert [c.posix for c in serial_ctx] == [c.posix for c in parallel_ctx]
+        assert serial_err == parallel_err

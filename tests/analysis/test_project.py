@@ -1,0 +1,151 @@
+"""Unit tests for the project index and call graph (repro.analysis.project)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import parse_file
+from repro.analysis.project import ProjectIndex, dotted_name, module_name_for
+
+PKG_FILES = {
+    "pkg/__init__.py": "",
+    "pkg/util.py": (
+        "def helper(x, scale=1):\n"
+        "    return x * scale\n"
+        "\n"
+        "class Base:\n"
+        "    def close(self):\n"
+        "        return None\n"
+    ),
+    "pkg/app.py": (
+        "from pkg.util import helper\n"
+        "from .util import Base\n"
+        "\n"
+        "class Worker(Base):\n"
+        "    def run(self, x):\n"
+        "        self.close()\n"
+        "        return helper(x, scale=2)\n"
+        "\n"
+        "def main():\n"
+        "    w = Worker()\n"
+        "    return w.run(1)\n"
+    ),
+}
+
+
+def _write_tree(tmp_path, files):
+    for rel, src in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(src)
+    return [tmp_path / rel for rel in files]
+
+
+def _index(tmp_path, files=PKG_FILES) -> ProjectIndex:
+    paths = _write_tree(tmp_path, files)
+    return ProjectIndex.build([parse_file(p) for p in paths])
+
+
+class TestModuleNaming:
+    def test_init_chain_gives_dotted_name(self, tmp_path):
+        _write_tree(tmp_path, PKG_FILES)
+        assert module_name_for(tmp_path / "pkg/util.py") == "pkg.util"
+        assert module_name_for(tmp_path / "pkg/__init__.py") == "pkg"
+
+    def test_bare_file_uses_stem(self, tmp_path):
+        p = tmp_path / "script.py"
+        p.write_text("x = 1\n")
+        assert module_name_for(p) == "script"
+
+    def test_dotted_name(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(node) == "a.b.c"
+        call = ast.parse("f()[0]", mode="eval").body
+        assert dotted_name(call) is None
+
+
+class TestIndexAndResolution:
+    def test_functions_and_methods_indexed(self, tmp_path):
+        idx = _index(tmp_path)
+        assert "pkg.util.helper" in idx.functions
+        assert "pkg.app.Worker.run" in idx.functions
+        assert idx.functions["pkg.util.helper"].params == ("x", "scale")
+        assert idx.classes["pkg.app.Worker"].bases == ("Base",)
+
+    def test_canonical_name_resolves_aliases(self, tmp_path):
+        idx = _index(tmp_path)
+        app = idx.modules["pkg.app"]
+        name = ast.parse("helper", mode="eval").body
+        assert idx.canonical_name(app, name) == "pkg.util.helper"
+        rel = ast.parse("Base", mode="eval").body
+        assert idx.canonical_name(app, rel) == "pkg.util.Base"
+
+    def test_canonical_name_passes_through_unknown_imports(self, tmp_path):
+        idx = _index(tmp_path, {"m.py": "import time\nx = time.time()\n"})
+        mod = idx.modules["m"]
+        node = ast.parse("time.time", mode="eval").body
+        assert idx.canonical_name(mod, node) == "time.time"
+
+    def test_call_edges_cross_module_and_base_class(self, tmp_path):
+        idx = _index(tmp_path)
+        edges = idx.call_edges()
+        # helper() via import, self.close() via the in-project base.
+        assert set(edges["pkg.app.Worker.run"]) == {
+            "pkg.util.helper",
+            "pkg.util.Base.close",
+        }
+        # w = Worker(); w.run(1) resolves through local type inference.
+        assert "pkg.app.Worker.run" in edges["pkg.app.main"]
+
+    def test_callers_of(self, tmp_path):
+        idx = _index(tmp_path)
+        assert idx.callers_of("pkg.app.Worker.run") == ("pkg.app.main",)
+        assert idx.callers_of("pkg.app.main") == ()
+
+    def test_map_args_skips_bound_self_and_maps_keywords(self, tmp_path):
+        idx = _index(tmp_path)
+        main = idx.functions["pkg.app.main"]
+        mod = idx.modules["pkg.app"]
+        local = idx.local_class_types(main)
+        call = next(
+            n for n in ast.walk(main.node)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+        )
+        resolved = idx.resolve_call(mod, call, local)
+        assert resolved is not None and resolved.bound
+        mapped = idx.map_args(call, resolved)
+        assert [p for p, _ in mapped] == ["x"]
+
+        run = idx.functions["pkg.app.Worker.run"]
+        owner = mod.classes["Worker"]
+        helper_call = next(
+            n for n in ast.walk(run.node)
+            if isinstance(n, ast.Call) and isinstance(n.func, ast.Name)
+        )
+        resolved = idx.resolve_call(mod, helper_call, {}, owner)
+        mapped = dict(idx.map_args(helper_call, resolved))
+        assert set(mapped) == {"x", "scale"}
+
+    def test_starred_args_stop_positional_mapping(self, tmp_path):
+        idx = _index(tmp_path)
+        mod = idx.modules["pkg.app"]
+        call = ast.parse("helper(*parts)", mode="eval").body
+        resolved = idx.resolve_call(mod, call)
+        assert resolved is not None
+        assert idx.map_args(call, resolved) == []
+
+    def test_unresolvable_call_returns_none(self, tmp_path):
+        idx = _index(tmp_path)
+        mod = idx.modules["pkg.app"]
+        call = ast.parse("os.remove(p)", mode="eval").body
+        assert idx.resolve_call(mod, call) is None
+
+
+class TestDeterminism:
+    def test_index_is_deterministic_across_builds(self, tmp_path):
+        a = _index(tmp_path)
+        b = ProjectIndex.build(
+            [parse_file(tmp_path / rel) for rel in reversed(list(PKG_FILES))]
+        )
+        assert sorted(a.functions) == sorted(b.functions)
+        assert a.call_edges() == b.call_edges()

@@ -33,6 +33,41 @@ def test_tree_is_lint_clean():
     assert findings == [], "\n" + format_text(findings)
 
 
+def test_tree_suppressions_are_all_live():
+    """--check-suppressions finds no stale or unknown suppressions."""
+    from repro.analysis.lint import audit_suppressions
+
+    findings = audit_suppressions(_tree_paths())
+    assert findings == [], "\n" + format_text(findings)
+
+
+def test_tree_lint_is_byte_identical_across_runs_and_jobs():
+    from repro.analysis.report import format_json
+
+    runs = [
+        format_json(lint_paths(_tree_paths(), jobs=jobs))
+        for jobs in (1, 4, None)
+    ]
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_tree_lint_stays_within_runtime_budget():
+    """Interprocedural analysis must not blow up whole-tree lint time.
+
+    Budget: 2x the pre-interprocedural baseline (~1.3s on the dev
+    container for the full call-graph build plus all rules), padded
+    for slow CI runners.  A superlinear regression — e.g. summaries
+    recomputed per call site instead of memoized — lands far above
+    this; normal runs land far below it.
+    """
+    import time
+
+    start = time.perf_counter()
+    lint_paths(_tree_paths())
+    elapsed = time.perf_counter() - start
+    assert elapsed < 8.0, f"whole-tree lint took {elapsed:.2f}s (budget 8s)"
+
+
 def test_cli_exit_codes(tmp_path, capsys):
     clean = tmp_path / "ok.py"
     clean.write_text("x = 1\n")

@@ -55,6 +55,11 @@ from repro.transport import TransportConfig
 from repro.transport.retry import RetryPolicy
 from repro.units import KiB, gbs, us
 
+try:
+    from benchmarks.emit import add_json_arg, percentile, write_bench_json
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from emit import add_json_arg, percentile, write_bench_json
+
 #: Adaptive must stay within this factor of the best static grid point
 #: at both ends of the sweep (steady-state steps).
 TOLERANCE = 1.10
@@ -102,7 +107,7 @@ FULL_POINTS = (
     FlowPoint("mid", drop=0.01, latency_us=50.0,
               congestion_kib=16, congestion_drop=0.08),
     FlowPoint("congested", drop=0.02, latency_us=5.0,
-              congestion_kib=8, congestion_drop=0.08),
+              congestion_kib=8, congestion_drop=0.15),
 )
 QUICK_POINTS = (FULL_POINTS[0], FULL_POINTS[-1])
 
@@ -151,7 +156,7 @@ def _flow_control() -> ControlConfig:
 def run_flow_point(point: FlowPoint, window: int, chunk: int,
                    adaptive: bool, steps: int = STEPS):
     """One producer/endpoint run; returns (per-step ship times,
-    flow decision dicts, instant events)."""
+    flow decision dicts, instant events, transport metrics)."""
     label = "adaptive" if adaptive else f"w{window}c{chunk}"
     fresh_substrate(f"flow-{point.key}-{label}")
     cfg = _transport(point, window, chunk)
@@ -172,7 +177,8 @@ def run_flow_point(point: FlowPoint, window: int, chunk: int,
             if plane is not None else []
         )
         events = plane.chrome_instant_events() if plane is not None else []
-        return bridge.step_costs, decisions, events
+        return (bridge.step_costs, decisions, events,
+                bridge.pipeline_metrics("bodies"))
 
     results, _endpoints = run_in_transit(
         InTransitLayout(m=1, n=1),
@@ -182,8 +188,7 @@ def run_flow_point(point: FlowPoint, window: int, chunk: int,
         cost=CommCostModel(latency=us(point.latency_us), bandwidth=BANDWIDTH),
         control=control,
     )
-    step_costs, decisions, events = results[0]
-    return step_costs, decisions, events
+    return results[0]
 
 
 def _score(step_costs, warmup: int) -> float:
@@ -192,7 +197,8 @@ def _score(step_costs, warmup: int) -> float:
 
 
 def flow_sweep(points, steps: int = STEPS, warmup: int = WARMUP):
-    """({point.key: {config: steady ship time}}, {key: decisions}, events).
+    """({point.key: {config: steady ship time}}, {key: decisions},
+    events, {key: adaptive steady-state stats}).
 
     Configs are every static grid corner plus ``adaptive``; the same
     warmup exclusion applies to all of them.
@@ -200,21 +206,29 @@ def flow_sweep(points, steps: int = STEPS, warmup: int = WARMUP):
     table = {}
     decisions = {}
     events = []
+    stats = {}
     for point in points:
         row = {}
         for window in WINDOWS:
             for chunk in CHUNKS:
-                costs, _, _ = run_flow_point(point, window, chunk,
-                                             adaptive=False, steps=steps)
+                costs, _, _, _ = run_flow_point(point, window, chunk,
+                                                adaptive=False, steps=steps)
                 row[f"w{window}c{chunk}"] = _score(costs, warmup)
-        costs, decs, evs = run_flow_point(
+        costs, decs, evs, metrics = run_flow_point(
             point, WINDOWS[0] * 2, CHUNKS[0] * 2, adaptive=True, steps=steps
         )
         row["adaptive"] = _score(costs, warmup)
+        steady = costs[warmup:]
+        stats[point.key] = {
+            "p50_s": percentile(steady, 50),
+            "p99_s": percentile(steady, 99),
+            "throughput_bps": len(steady) * N_ROWS * 8 / sum(steady),
+            "retries": metrics["retries"],
+        }
         table[point.key] = row
         decisions[point.key] = decs
         events.extend(evs)
-    return table, decisions, events
+    return table, decisions, events, stats
 
 
 def static_names():
@@ -273,10 +287,11 @@ def main(argv=None) -> int:
                     help="sweep endpoints only (CI smoke mode)")
     ap.add_argument("--trace", metavar="PATH",
                     help="write flow decisions as a Chrome trace JSON")
+    add_json_arg(ap, default="BENCH_flow.json")
     args = ap.parse_args(argv)
 
     points = QUICK_POINTS if args.quick else FULL_POINTS
-    table, decisions, events = flow_sweep(points)
+    table, decisions, events, stats = flow_sweep(points)
     failures = check_flow(points, table, decisions)
 
     print("flow sweep (steady-state producer ship time, simulated s):")
@@ -292,6 +307,16 @@ def main(argv=None) -> int:
             json.dump(chrome_trace([], extra_events=events), f, indent=1)
         print(f"trace written to {args.trace}")
 
+    if args.json:
+        write_bench_json(
+            args.json, "flow",
+            metrics={key: dict(stats[key]) for key in sorted(stats)},
+            detail={"table": table, "quick": bool(args.quick),
+                    "decisions": {k: len(v) for k, v in
+                                  sorted(decisions.items())}},
+        )
+        print(f"metrics written to {args.json}")
+
     if failures:
         print("\nFAIL: the flow governor missed the tolerance:")
         for line in failures:
@@ -306,7 +331,7 @@ def main(argv=None) -> int:
 
 
 def test_flow_sweep_ends(benchmark):
-    table, decisions, events = benchmark.pedantic(
+    table, decisions, events, _stats = benchmark.pedantic(
         lambda: flow_sweep(QUICK_POINTS), rounds=1, iterations=1,
     )
     assert not check_flow(QUICK_POINTS, table, decisions)

@@ -1,0 +1,59 @@
+"""Shared ``--json`` result emitter for the benchmark harness.
+
+Benchmarks that opt in grow a ``--json PATH`` flag and write a small
+machine-readable result file (``BENCH_<name>.json``) next to their
+human-readable table, so the perf trajectory is diffable across
+commits instead of living only in CI logs.  The payload is stable:
+
+    {"schema": 1, "bench": <name>,
+     "metrics": {...headline numbers...},
+     "detail": {...everything else worth keeping...}}
+
+Keys are sorted and no wall-clock timestamp is recorded — two runs of
+the same seeded benchmark produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+#: Bump when the payload layout changes shape (not when metrics are
+#: added — consumers must tolerate new keys).
+SCHEMA = 1
+
+
+def add_json_arg(parser, default=None):
+    """Attach the shared ``--json PATH`` option to an argparse parser."""
+    parser.add_argument(
+        "--json", metavar="PATH", default=default,
+        help="write benchmark metrics to PATH as JSON "
+             + (f"(default: {default})" if default else "(off by default)"),
+    )
+    return parser
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile ``q`` (0..100) of a non-empty sequence."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def write_bench_json(path: str, name: str, metrics: dict,
+                     detail: dict | None = None) -> dict:
+    """Write the standard benchmark payload to ``path``; returns it."""
+    payload = {
+        "schema": SCHEMA,
+        "bench": str(name),
+        "metrics": dict(metrics),
+        "detail": dict(detail or {}),
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload

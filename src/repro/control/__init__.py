@@ -33,7 +33,14 @@ narrow actuator hooks:
   allreduced over the plane's communicator each coordination round, so
   all ranks apply one node-consistent Eq. 1 re-aim on the same step
   and neighbor ranks crowding onto one device are detected
-  (``<control coordination="node">``).
+  (``<control coordination="node">``);
+- :class:`~repro.control.quota.QuotaGovernor` /
+  :class:`~repro.control.quota.ShardGovernor` — per-tenant admission
+  control for the service plane (:mod:`repro.service`): weighted-fair
+  endpoint credit budgets with AIMD reclaim of idle quota, and
+  skew-triggered migration of a pipeline's endpoint assignment, both
+  driven by demand vectors allreduced over the producer group
+  (``<control quota="on">``).
 
 A :class:`~repro.control.plan.ControlPlane` owns the governors, the
 signal ring buffer, and the decision log; every decision is also
@@ -57,6 +64,7 @@ from repro.control.governors import (
 )
 from repro.control.plan import ControlConfig, ControlPlane, GovernorSetting
 from repro.control.policy import EWMA, DiscountedUCB, Hysteresis
+from repro.control.quota import QuotaGovernor, ShardGovernor
 from repro.control.signals import SignalBuffer, StepObservation
 
 __all__ = [
@@ -75,6 +83,8 @@ __all__ = [
     "Hysteresis",
     "PlacementGovernor",
     "PoolTrimGovernor",
+    "QuotaGovernor",
+    "ShardGovernor",
     "SignalBuffer",
     "StepObservation",
 ]

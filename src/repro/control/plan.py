@@ -121,6 +121,13 @@ class ControlConfig:
     placement: GovernorSetting = field(default_factory=lambda: _ON)
     pool: GovernorSetting = field(default_factory=lambda: _ON)
     flow: GovernorSetting = field(default_factory=lambda: _OFF)
+    #: Service-plane admission control (per-tenant endpoint quotas plus
+    #: shard rebalancing).  Off by default: only ``run_service`` runs
+    #: coordination rounds, and only when this is enabled.
+    quota: GovernorSetting = field(default_factory=lambda: _OFF)
+    #: Let the pool governor *raise* its watermark under trim/refill
+    #: churn (and decay it back when quiet) instead of only trimming.
+    pool_growth: bool = False
     flow_bounds: FlowBounds = field(default_factory=FlowBounds)
     mode_low: float = 0.05     # hysteresis band on (insitu-copy)/sim
     mode_high: float = 0.15
@@ -204,6 +211,17 @@ class ControlConfig:
         settings["flow"] = (
             GovernorSetting.parse(raw_flow) if raw_flow is not None else _OFF
         )
+        raw_quota = attrs.pop("quota", None)
+        settings["quota"] = (
+            GovernorSetting.parse(raw_quota) if raw_quota is not None else _OFF
+        )
+        raw_growth = attrs.pop("pool_growth", "off").strip().lower()
+        if raw_growth in ("1", "true", "yes", "on"):
+            pool_growth = True
+        elif raw_growth in ("0", "false", "no", "off"):
+            pool_growth = False
+        else:
+            raise ConfigError(f"invalid pool_growth value {raw_growth!r}")
         watermark = _num("pool_watermark_kib", None, float)
         coordination = attrs.pop("coordination", "off").strip().lower()
         flow_attrs = dict(flow_attrs) if flow_attrs else {}
@@ -244,6 +262,7 @@ class ControlConfig:
             codec_margin=_num("codec_margin", 1.05, float),
             overload=_num("overload", 1.30, float),
             pool_watermark_kib=watermark,
+            pool_growth=pool_growth,
             coordination=coordination,
             coordination_interval=_num("coordination_interval", 1, int),
             **settings,
@@ -356,6 +375,16 @@ class ControlPlane:
         if decision is not None:
             self.decisions.append(decision)
         return decision
+
+    def record(self, decision: Decision | None) -> Decision | None:
+        """Log a decision made by an externally-driven governor.
+
+        The service plane's quota/shard governors run their own
+        coordination rounds (they need the whole producer group, not
+        one sender tap) and hand their decisions here so one plane owns
+        the complete log and the Chrome-trace export.
+        """
+        return self._log(decision)
 
     def _due(self, step: int) -> bool:
         return step % self.config.interval == 0
@@ -480,7 +509,8 @@ class ControlPlane:
         gov = self._pool_governors.get(id(pool))
         if gov is None:
             gov = PoolTrimGovernor(
-                pool, watermark_bytes, frozen=cfg.pool.frozen
+                pool, watermark_bytes, frozen=cfg.pool.frozen,
+                adaptive=cfg.pool_growth,
             )
             self._pool_governors[id(pool)] = gov
             self.governors.append(gov)

@@ -1,0 +1,269 @@
+"""Per-tenant admission control for the in-transit service plane.
+
+Two governors close the "heavy traffic" loop for
+:func:`repro.service.run_service`, reusing the
+:class:`~repro.control.governors.Decision` plumbing of the four
+existing governors:
+
+- :class:`QuotaGovernor` partitions each shared endpoint's credit
+  budget across the pipelines (tenants) assigned to it: **weighted
+  fair shares** over the tenants that shipped bytes since the last
+  round, with AIMD-style dynamics — an active tenant ramps toward its
+  fair share roughly halving the gap per round, an idle tenant's
+  allocation decays multiplicatively until only a floor of
+  ``min_credits`` is parked on it, and the reclaimed credits are
+  immediately redistributed to the active tenants.
+- :class:`ShardGovernor` watches per-endpoint offered load (demand
+  spread over each pipeline's shard) and migrates the dominant tenant
+  off an endpoint whose load skews past ``skew`` times the mean, onto
+  the coldest endpoint outside that tenant's shard — at most one
+  migration per round, with a cooldown so assignments settle between
+  moves.
+
+Neither governor measures anything itself: the service's coordination
+round allreduces per-pipeline demand over the producer group (the same
+epoch-checked collective the cluster placement governor uses) and
+feeds both governors the identical node-wide vectors, so every rank
+derives the same decisions on the same step.  Inputs are deterministic
+byte counts — never wall-jittery retry or latency signals — so seeded
+reruns produce bit-identical decision logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.control.governors import Decision, Governor
+
+__all__ = ["QuotaGovernor", "ShardGovernor"]
+
+
+class QuotaGovernor(Governor):
+    """Weighted-fair credit budgets per (endpoint, pipeline) tenant pair.
+
+    ``actuator(name, endpoint, credits)`` is called for every changed
+    allocation; the service's router translates that into
+    ``set_window`` on whichever of its local senders carry the
+    pipeline (ranks without a local sender simply no-op).
+    """
+
+    name = "quota"
+
+    def __init__(
+        self,
+        weights: Mapping[str, float],
+        budget: int,
+        actuator=None,
+        min_credits: int = 1,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1 credit: {budget}")
+        if min_credits < 1:
+            raise ValueError(f"min_credits must be >= 1: {min_credits}")
+        if min_credits > budget:
+            raise ValueError(
+                f"min_credits {min_credits} exceeds budget {budget}"
+            )
+        for tenant, w in sorted(weights.items()):
+            if w <= 0:
+                raise ValueError(f"weight for {tenant!r} must be > 0: {w}")
+        self.weights = dict(sorted(weights.items()))
+        self.budget = int(budget)
+        self.min_credits = int(min_credits)
+        #: Fractional credit state per (endpoint, pipeline); the
+        #: actuated value is the floor, never below ``min_credits``.
+        self._alloc: dict[tuple[int, str], float] = {}
+
+    def credits_for(self, name: str, endpoint: int) -> int | None:
+        """Current integer allocation, or None before the first round."""
+        alloc = self._alloc.get((endpoint, name))
+        if alloc is None:
+            return None
+        return max(self.min_credits, int(alloc))
+
+    def rebalance(
+        self,
+        step: int,
+        demand: Mapping[str, int],
+        active: Mapping[str, bool],
+        shards: Mapping[str, tuple[int, ...]],
+        t: float | None = None,
+    ) -> list[Decision]:
+        """One admission round over node-wide (allreduced) demand.
+
+        ``demand`` is raw payload bytes each pipeline shipped since the
+        last round, ``active`` whether it shipped at all, ``shards``
+        the current endpoint assignment.  Returns the decisions for
+        every allocation whose integer value changed.
+        """
+        if not self.enabled:
+            return []
+        decisions: list[Decision] = []
+        endpoints = sorted({e for n in sorted(shards) for e in shards[n]})
+        for e in endpoints:
+            tenants = [n for n in sorted(shards) if e in shards[n]]
+            idle = [n for n in tenants if not active.get(n)]
+            live = [n for n in tenants if active.get(n)]
+            # Idle tenants decay multiplicatively toward the floor …
+            for n in idle:
+                cur = self._alloc.get((e, n), float(self.min_credits))
+                self._alloc[(e, n)] = max(self.min_credits, cur / 2.0)
+            parked = sum(self._alloc[(e, n)] for n in idle)
+            # … and the freed budget goes back to the live tenants by
+            # weight, each ramping about half the remaining gap per
+            # round (an overshooting tenant snaps straight down).
+            available = max(0.0, float(self.budget) - parked)
+            wsum = sum(self.weights.get(n, 1.0) for n in live)
+            for n in live:
+                fair = available * self.weights.get(n, 1.0) / wsum
+                cur = self._alloc.get((e, n), float(self.min_credits))
+                if cur < fair:
+                    cur = min(fair, cur + max(1.0, (fair - cur) / 2.0))
+                else:
+                    cur = fair
+                self._alloc[(e, n)] = max(float(self.min_credits), cur)
+            for n in tenants:
+                credits = max(self.min_credits, int(self._alloc[(e, n)]))
+                applied = self._actuate(n, e, credits)
+                decisions.append(
+                    self._decision(
+                        step, t,
+                        f"quota {n}@ep{e} -> {credits}",
+                        (
+                            f"{'active' if n in live else 'idle'} tenant "
+                            f"among {len(tenants)} on endpoint {e}: "
+                            f"weighted fair share of {self.budget} credits"
+                        ),
+                        applied,
+                        pipeline=n,
+                        endpoint=e,
+                        credits=credits,
+                        demand_bytes=int(demand.get(n, 0)),
+                        active=bool(active.get(n)),
+                        tenants=len(tenants),
+                    )
+                )
+        return decisions
+
+
+class ShardGovernor(Governor):
+    """Migrates a pipeline off a skewed endpoint at step boundaries.
+
+    ``actuator(name, new_shard)`` rewrites the shared shard map; the
+    caller is responsible for replicating the same call on every rank
+    (the decision is a pure function of allreduced inputs, so each
+    rank computes it independently and identically).
+    """
+
+    name = "shard"
+
+    def __init__(
+        self,
+        endpoints: int,
+        actuator=None,
+        skew: float = 1.5,
+        cooldown: int = 2,
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        if endpoints < 1:
+            raise ValueError(f"endpoints must be >= 1: {endpoints}")
+        if skew <= 1.0:
+            raise ValueError(f"skew threshold must be > 1: {skew}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0: {cooldown}")
+        self.endpoints = int(endpoints)
+        self.skew = float(skew)
+        self.cooldown = int(cooldown)
+        self._hold = 0
+
+    @staticmethod
+    def offered_loads(
+        demand: Mapping[str, int],
+        shards: Mapping[str, tuple[int, ...]],
+        endpoints: int,
+    ) -> list[float]:
+        """Per-endpoint offered bytes: each pipeline's demand spread
+        evenly over its shard."""
+        loads = [0.0] * endpoints
+        for n in sorted(shards):
+            shard = shards[n]
+            if not shard:
+                continue
+            share = demand.get(n, 0) / len(shard)
+            for e in shard:
+                loads[e] += share
+        return loads
+
+    def rebalance(
+        self,
+        step: int,
+        demand: Mapping[str, int],
+        shards: Mapping[str, tuple[int, ...]],
+        t: float | None = None,
+    ) -> tuple[Decision | None, tuple[str, int, int] | None]:
+        """One skew check; at most one migration.
+
+        Returns ``(decision, migration)`` where ``migration`` is
+        ``(pipeline, old_endpoint, new_endpoint)`` when a move was
+        *applied* (None while frozen, cooling down, or balanced).
+        """
+        if not self.enabled or self.endpoints < 2:
+            return None, None
+        if self._hold > 0:
+            self._hold -= 1
+            return None, None
+        loads = self.offered_loads(demand, shards, self.endpoints)
+        total = sum(loads)
+        if total <= 0:
+            return None, None
+        mean = total / self.endpoints
+        hot = max(range(self.endpoints), key=lambda e: (loads[e], -e))
+        ratio = loads[hot] / mean
+        if ratio < self.skew:
+            return None, None
+        # The dominant tenant on the hot endpoint, by offered share.
+        tenants = [n for n in sorted(shards) if hot in shards[n]]
+        movable = [
+            n for n in tenants
+            if any(e not in shards[n] for e in range(self.endpoints))
+        ]
+        if len(tenants) < 2 or not movable:
+            return None, None  # nothing to separate
+        dom = max(
+            movable,
+            key=lambda n: (demand.get(n, 0) / len(shards[n]), n),
+        )
+        share = demand.get(dom, 0) / len(shards[dom])
+        candidates = [
+            e for e in range(self.endpoints) if e not in shards[dom]
+        ]
+        cold = min(candidates, key=lambda e: (loads[e], e))
+        if loads[cold] + share >= loads[hot]:
+            return None, None  # the move would not improve the skew
+        new_shard = tuple(sorted(
+            e for e in shards[dom] if e != hot
+        ) + [cold])
+        applied = self._actuate(dom, new_shard)
+        if applied:
+            self._hold = self.cooldown
+        decision = self._decision(
+            step, t,
+            f"migrate {dom}: ep{hot} -> ep{cold}",
+            (
+                f"endpoint {hot} offered load {ratio:.2f}x the mean "
+                f"across {self.endpoints} endpoints; moving its dominant "
+                f"tenant to endpoint {cold}"
+            ),
+            applied,
+            pipeline=dom,
+            hot=hot,
+            cold=cold,
+            skew=round(ratio, 6),
+            demand_bytes=int(demand.get(dom, 0)),
+        )
+        return decision, ((dom, hot, cold) if applied else None)

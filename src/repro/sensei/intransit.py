@@ -321,36 +321,34 @@ def run_in_transit(
     fresh control plane to each producer's bridge, enabling adaptive
     codec selection on that producer's link.
 
+    Since the service plane landed this is a thin wrapper over
+    :func:`repro.service.run_service` with a single collective
+    pipeline: one tenant named ``mesh_name`` sharded over all ``n``
+    endpoints, carrying the layout's partitioner and weights.  The
+    single pipeline occupies tag index 0 — the legacy wire tags — and
+    admission control stays off unless the control config arms it, so
+    the classic path is bit-identical.
+
     Returns ``(producer_results, endpoint_runners)``.
     """
+    from repro.service.plan import PipelineSpec, ServiceConfig
+    from repro.service.runtime import run_service
 
-    def world_main(comm: Communicator):
-        if layout.is_producer(comm.rank):
-            sim_comm = comm.split(color=0, key=comm.rank)
-            bridge = InTransitBridge(layout, mesh_name, transport)
-            if control is not None:
-                from repro.control.plan import ControlPlane
-
-                # The plane coordinates over the producers' own
-                # sub-communicator: cross-rank placement rounds must
-                # never rendezvous with endpoint ranks, whose recv
-                # loops are busy with transport traffic.
-                bridge.attach_control(ControlPlane(control, comm=sim_comm))
-            bridge.initialize(comm)
-            try:
-                result = producer_main(sim_comm, bridge)
-            finally:
-                bridge.finalize()
-            return ("producer", result, bridge)
-        endpoint_comm = comm.split(color=1, key=comm.rank)
-        runner = EndpointRunner(
-            layout, comm, endpoint_comm, analyses_factory(), mesh_name,
-            transport,
-        )
-        runner.serve()
-        return ("endpoint", runner, None)
-
-    out = run_spmd(layout.world_size, world_main, cost=cost)
-    producers = [r for kind, r, _b in out if kind == "producer"]
-    endpoints = [r for kind, r, _b in out if kind == "endpoint"]
-    return producers, endpoints
+    spec = PipelineSpec(
+        name=mesh_name,
+        mesh=mesh_name,
+        shard_size=layout.n,
+        collective=True,
+        partitioner=layout.partitioner,
+        producer_weights=layout.weights,
+        transport=transport if transport is not None else TransportConfig(),
+    )
+    return run_service(
+        ServiceConfig(pipelines=(spec,)),
+        producer_main,
+        {mesh_name: analyses_factory},
+        m=layout.m,
+        n=layout.n,
+        cost=cost,
+        control=control,
+    )

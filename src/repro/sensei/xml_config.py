@@ -34,6 +34,18 @@ takes ``on``, ``off``, or ``freeze`` (observe and log, never actuate);
 allreduce-coordinated cross-rank governor.  Without the element no
 control plane exists and every knob keeps its static setting.
 
+At most one ``<service>`` element declares the multi-pipeline
+in-transit service plane (see
+:class:`repro.service.plan.ServiceConfig`): nested ``<pipeline>``
+elements name each tenant, with per-tenant transport attributes and
+the admission-control knobs (``budget``, ``skew``, ``cooldown``,
+``interval``) on ``<service>`` itself::
+
+    <service budget="32" skew="1.5" interval="4">
+      <pipeline name="hot" weight="8" shard_size="2" compression="zlib"/>
+      <pipeline name="bulk" weight="1" partitioner="cyclic"/>
+    </service>
+
 Common attributes (every ``<analysis>``):
 
 - ``type`` (required) — back-end registry key;
@@ -57,6 +69,7 @@ from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.control.plan import ControlConfig
+    from repro.service.plan import ServiceConfig
     from repro.transport.config import TransportConfig
 
 __all__ = [
@@ -131,6 +144,7 @@ class SenseiConfig:
     analyses: tuple[AnalysisConfig, ...] = ()
     transport: "TransportConfig | None" = None
     control: "ControlConfig | None" = None
+    service: "ServiceConfig | None" = None
 
 
 def parse_document(text: str) -> SenseiConfig:
@@ -144,6 +158,7 @@ def parse_document(text: str) -> SenseiConfig:
     configs: list[AnalysisConfig] = []
     transport = None
     control = None
+    service = None
     for child in root:
         if child.tag == "transport":
             if transport is not None:
@@ -173,10 +188,17 @@ def parse_document(text: str) -> SenseiConfig:
                 child.attrib, flow_attrs=flow_attrs
             )
             continue
+        if child.tag == "service":
+            if service is not None:
+                raise ConfigError("at most one <service> element is allowed")
+            from repro.service.plan import ServiceConfig
+
+            service = ServiceConfig.from_xml_element(child)
+            continue
         if child.tag != "analysis":
             raise ConfigError(
                 f"unexpected element <{child.tag}>; only <analysis>, "
-                "<transport>, and <control> are allowed"
+                "<transport>, <control>, and <service> are allowed"
             )
         attrs = dict(child.attrib)
         atype = attrs.pop("type", None)
@@ -191,7 +213,8 @@ def parse_document(text: str) -> SenseiConfig:
             raise ConfigError(f"invalid enabled value {enabled_raw!r}")
         configs.append(AnalysisConfig(type=atype, enabled=enabled, attrs=attrs))
     return SenseiConfig(
-        analyses=tuple(configs), transport=transport, control=control
+        analyses=tuple(configs), transport=transport, control=control,
+        service=service,
     )
 
 

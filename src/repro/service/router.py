@@ -1,0 +1,449 @@
+"""Producer-side service plane: routing, fan-in, admission actuation.
+
+:class:`Router` owns one producer rank's senders across every pipeline
+it feeds.  Each (pipeline, destination endpoint) pair gets its own
+:class:`~repro.transport.channel.ReliableSender` on the pipeline's tag
+pair, stamping chunks with the pipeline id so a misrouted frame is a
+hard error rather than silent cross-tenant corruption.  Destinations
+are recomputed from the replicated :class:`~repro.service.plan.ShardMap`
+on every step, so a shard migration takes effect at the next step
+boundary with no sender-side handshake.
+
+:class:`ServiceBridge` composes a Router with the control plane: it
+keeps the ``initialize`` / ``execute(data_adaptor)`` / ``finalize``
+surface of :class:`repro.sensei.bridge.Bridge`, ships every pipeline
+whose mesh the adaptor publishes, and — when admission control is on
+(``<control quota="on">``) — runs the coordination round at step
+boundaries: demand vectors are allreduced over the producer group,
+the shard and quota governors decide identically on every rank, and
+rank 0 notifies endpoints of membership changes over the control tag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.hamr.runtime import current_clock
+from repro.mpi.comm import Communicator
+from repro.sensei.data_adaptor import DataAdaptor
+from repro.service.plan import ServiceConfig, ShardMap, route_producers
+from repro.svtk.table import TableData
+from repro.transport.channel import ReliableSender
+from repro.transport.metrics import new_transport_timeline
+
+__all__ = ["CTRL_TAG", "Router", "ServiceBridge"]
+
+#: Service-plane control messages (membership updates, shutdown) flow
+#: from producer world rank 0 to every endpoint on this tag, outside
+#: the data/ack tag space and uncharged (control plane is free).
+CTRL_TAG = 91
+
+
+def table_nbytes(table: TableData) -> int:
+    """Deterministic raw payload size of one table (demand signal)."""
+    total = 0
+    for name in table.column_names:
+        col = table.column(name)
+        total += int(col.n_values) * np.dtype(col.dtype).itemsize
+    return total
+
+
+class Router:
+    """One producer rank's sender fan-out across its pipelines.
+
+    Senders are cached per (pipeline, endpoint world rank) and created
+    lazily as routing directs traffic there — except the initial
+    destinations, which :meth:`open_initial` creates eagerly so even a
+    zero-step run drains every flow with a proper ``fin`` handshake.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        world: Communicator,
+        m: int,
+        n: int,
+        shard_map: ShardMap,
+        load_board=None,
+    ):
+        self.config = config
+        self.world = world
+        self.m = int(m)
+        self.n = int(n)
+        self.shard_map = shard_map
+        self.load_board = load_board
+        self.senders: dict[tuple[str, int], ReliableSender] = {}
+        self._timelines: dict[str, object] = {}
+        #: Quota decisions keyed (pipeline, endpoint index): total
+        #: credits granted to the tenant on that endpoint.  Applied to
+        #: live senders immediately and replayed onto senders created
+        #: later (e.g. after a migration).
+        self._grants: dict[tuple[str, int], int] = {}
+
+    def members(self, name: str, endpoint_index: int) -> tuple[int, ...]:
+        """Producer world ranks currently routed to ``endpoint_index``."""
+        spec = self.config.spec(name)
+        routed = route_producers(
+            spec, self.shard_map.shard(name), spec.producers(self.m)
+        )
+        return routed.get(endpoint_index, ())
+
+    def endpoint_of(self, name: str, producer: int) -> int:
+        """Endpoint *index* currently serving ``producer`` on a pipeline."""
+        spec = self.config.spec(name)
+        routed = route_producers(
+            spec, self.shard_map.shard(name), spec.producers(self.m)
+        )
+        for e in sorted(routed):
+            if producer in routed[e]:
+                return e
+        raise ExecutionError(
+            f"rank {producer} does not feed pipeline {name!r}"
+        )
+
+    def _timeline(self, name: str):
+        tl = self._timelines.get(name)
+        if tl is None:
+            tl = new_transport_timeline(
+                f"service.{name}.rank{self.world.rank}"
+            )
+            self._timelines[name] = tl
+        return tl
+
+    def sender_for(self, name: str, endpoint_index: int) -> ReliableSender:
+        dest = self.m + int(endpoint_index)
+        key = (name, dest)
+        sender = self.senders.get(key)
+        if sender is None:
+            spec = self.config.spec(name)
+            data_tag, ack_tag = self.config.tags(name)
+            sender = ReliableSender(
+                self.world,
+                dest,
+                spec.transport,
+                timeline=self._timeline(name),
+                data_tag=data_tag,
+                ack_tag=ack_tag,
+                pipeline=name,
+                load_board=self.load_board,
+            )
+            self.senders[key] = sender
+            grant = self._grants.get((name, endpoint_index))
+            if grant is not None:
+                self._set_window(sender, name, endpoint_index, grant)
+        return sender
+
+    def open_initial(self) -> None:
+        """Eagerly open every pipeline's current flow from this rank."""
+        rank = self.world.rank
+        for spec in self.config.pipelines:
+            if rank in spec.producers(self.m):
+                self.sender_for(spec.name, self.endpoint_of(spec.name, rank))
+
+    def _set_window(
+        self, sender: ReliableSender, name: str, endpoint_index: int,
+        credits: int,
+    ) -> None:
+        # The tenant's endpoint budget is split evenly across the
+        # producers currently routed there; each flow gets the slice.
+        count = max(1, len(self.members(name, endpoint_index)))
+        sender.set_window(max(1, int(credits) // count))
+
+    def grant(self, name: str, endpoint_index: int, credits: int) -> None:
+        """Record a quota grant and apply it to the live sender, if any."""
+        self._grants[(name, int(endpoint_index))] = int(credits)
+        sender = self.senders.get((name, self.m + int(endpoint_index)))
+        if sender is not None:
+            self._set_window(sender, name, int(endpoint_index), int(credits))
+
+    def close_pipeline(self, name: str) -> None:
+        for key in sorted(k for k in self.senders if k[0] == name):
+            sender = self.senders[key]
+            if not sender._closed:
+                sender.close()
+
+    def close_all(self) -> None:
+        for key in sorted(self.senders):
+            sender = self.senders[key]
+            if not sender._closed:
+                sender.close()
+
+    def pipeline_metrics(self, name: str) -> dict:
+        """Summed counters over this rank's senders for one pipeline."""
+        out = {
+            "steps": 0, "raw_bytes": 0, "wire_bytes": 0, "bytes_out": 0,
+            "retries": 0, "drops_recovered": 0, "chunks_sent": 0,
+            "backoff_time": 0.0, "senders": 0,
+        }
+        for key in sorted(k for k in self.senders if k[0] == name):
+            metrics = self.senders[key].metrics
+            out["senders"] += 1
+            for field in (
+                "steps", "raw_bytes", "wire_bytes", "bytes_out", "retries",
+                "drops_recovered", "chunks_sent", "backoff_time",
+            ):
+                out[field] += getattr(metrics, field)
+        return out
+
+
+class ServiceBridge:
+    """The simulation-side bridge of the multi-pipeline service.
+
+    Drop-in for :class:`repro.sensei.intransit.InTransitBridge` when
+    the service carries one pipeline, and the multi-tenant superset
+    otherwise.  Every producer must call :meth:`execute` for the same
+    sequence of time steps (ship nothing for a pipeline by simply not
+    publishing its mesh) — the coordination round is a collective over
+    the producer group, so cadences must align.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        m: int,
+        n: int,
+        load_board=None,
+    ):
+        self.config = config
+        self.m = int(m)
+        self.n = int(n)
+        self.load_board = load_board
+        self.shard_map = ShardMap.initial(config, n)
+        self._world: Communicator | None = None
+        self._sim: Communicator | None = None
+        self.router: Router | None = None
+        self._control = None
+        self._quota_governor = None
+        self._shard_governor = None
+        self._initialized = False
+        self._finalized = False
+        self._finished: set[str] = set()
+        self.step_costs: list[float] = []
+        self.pipeline_step_costs: dict[str, list[float]] = {
+            name: [] for name in config.names
+        }
+        # Demand accumulators for the next coordination round.
+        self._demand: dict[str, int] = {name: 0 for name in config.names}
+        self._shipped: dict[str, int] = {name: 0 for name in config.names}
+
+    # -- control plane ---------------------------------------------------------
+    def attach_control(self, plane) -> None:
+        """Attach a :class:`repro.control.ControlPlane`.
+
+        Per-sender taps (codec, flow) wire lazily exactly as on the
+        single-pipeline bridge; additionally, ``<control quota="on">``
+        arms the service's own coordination round (quota + shard
+        governors) at the plane's decision interval.
+        """
+        self._control = plane
+
+    @property
+    def control_plane(self):
+        return self._control
+
+    def _admission_on(self) -> bool:
+        plane = self._control
+        return (
+            plane is not None
+            and plane.enabled
+            and plane.config.quota.enabled
+        )
+
+    def _wire_admission(self) -> None:
+        from repro.control.quota import QuotaGovernor, ShardGovernor
+
+        cfg = self.config
+        plane = self._control
+        self._quota_governor = QuotaGovernor(
+            weights={p.name: p.weight for p in cfg.pipelines},
+            budget=cfg.budget,
+            actuator=self.router.grant,
+            min_credits=cfg.min_credits,
+            frozen=plane.config.quota.frozen,
+        )
+        self._shard_governor = ShardGovernor(
+            endpoints=self.n,
+            actuator=self.shard_map.set_shard,
+            skew=cfg.skew,
+            cooldown=cfg.cooldown,
+            frozen=plane.config.quota.frozen,
+        )
+        plane.governors.append(self._quota_governor)
+        plane.governors.append(self._shard_governor)
+
+    # -- lifecycle -------------------------------------------------------------
+    def initialize(self, world_comm: Communicator, sim_comm: Communicator) -> None:
+        if self._initialized:
+            raise ExecutionError("service bridge already initialized")
+        if not (0 <= world_comm.rank < self.m):
+            raise ExecutionError(
+                f"rank {world_comm.rank} is not a producer in this service"
+            )
+        self._world = world_comm
+        self._sim = sim_comm
+        self.router = Router(
+            self.config, world_comm, self.m, self.n, self.shard_map,
+            load_board=self.load_board,
+        )
+        if self._admission_on():
+            self._wire_admission()
+        # Open every flow up front so a zero-step run still drains
+        # each receiver with a proper fin handshake.
+        self.router.open_initial()
+        self._initialized = True
+
+    def execute(self, data: DataAdaptor) -> bool:
+        if not self._initialized:
+            raise ExecutionError("initialize the service bridge first")
+        if self._finalized:
+            raise ExecutionError("service bridge already finalized")
+        clock = current_clock()
+        t0 = clock.now
+        rank = self._world.rank
+        published = set(data.get_mesh_names())
+        for spec in self.config.pipelines:
+            if spec.name in self._finished or spec.mesh not in published:
+                continue
+            if rank not in spec.producers(self.m):
+                continue
+            table = data.get_mesh(spec.mesh)
+            if not isinstance(table, TableData):
+                raise ExecutionError(
+                    f"the service plane ships tables; mesh {spec.mesh!r} "
+                    f"of pipeline {spec.name!r} is {type(table).__name__}"
+                )
+            sender = self.router.sender_for(
+                spec.name, self.router.endpoint_of(spec.name, rank)
+            )
+            ship0 = clock.now
+            sender.send_step(data.time_step, data.time, table)
+            self.pipeline_step_costs[spec.name].append(clock.now - ship0)
+            self._demand[spec.name] += table_nbytes(table)
+            self._shipped[spec.name] += 1
+            if self._control is not None:
+                self._control.observe_transport_step(
+                    sender, data.time_step, clock.now - ship0, table=table
+                )
+        self.step_costs.append(clock.now - t0)
+        self._maybe_coordinate(data.time_step)
+        return True
+
+    def finish_pipeline(self, name: str) -> None:
+        """Drain one pipeline early (fin handshake on its flows).
+
+        The endpoint marks the producer finned and keeps serving the
+        remaining tenants — an early-exiting pipeline never stalls
+        siblings sharing its endpoints.  The rank keeps participating
+        in coordination rounds; the tenant just goes idle there.
+        """
+        if not self._initialized:
+            raise ExecutionError("initialize the service bridge first")
+        self.config.spec(name)  # validate
+        if name in self._finished:
+            return
+        self.router.close_pipeline(name)
+        self._finished.add(name)
+
+    def finalize(self) -> None:
+        if self._finalized or not self._initialized:
+            self._finalized = True
+            return
+        try:
+            self.router.close_all()
+        finally:
+            self._finalized = True
+            # Every producer drains before any endpoint is told to
+            # stop, else the shutdown could outrun a sibling's data.
+            self._sim.barrier()
+            if self._sim.rank == 0:
+                for e in range(self.n):
+                    self._world.send(
+                        ("svc_shutdown",), self.m + e, CTRL_TAG,
+                        charge=False,
+                    )
+
+    # -- coordination ----------------------------------------------------------
+    def _maybe_coordinate(self, step: int) -> None:
+        """Run the admission round at the plane's decision cadence.
+
+        A collective over the producer group: every rank folds its
+        per-pipeline demand into one epoch-checked allreduce, then
+        runs the shard and quota governors on the identical node-wide
+        vectors — so the replicated shard map and the credit grants
+        never diverge across ranks.
+        """
+        if not self._admission_on() or self._quota_governor is None:
+            return
+        plane = self._control
+        if step % plane.config.interval != 0:
+            return
+        names = self.config.names
+        local = np.array(
+            [float(self._demand[n]) for n in names]
+            + [float(self._shipped[n]) for n in names],
+            dtype=np.float64,
+        )
+        if self._sim.size > 1:
+            folded = self._sim.coordinated_allreduce(local, op="sum")
+        else:
+            folded = local
+        count = len(names)
+        demand = {n: int(folded[i]) for i, n in enumerate(names)}
+        active = {
+            n: bool(folded[count + i] > 0) for i, n in enumerate(names)
+        }
+        decision, migration = self._shard_governor.rebalance(
+            step, demand, self.shard_map.as_dict()
+        )
+        plane.record(decision)
+        if migration is not None:
+            self._announce_migration(step, migration[0])
+        for quota_decision in self._quota_governor.rebalance(
+            step, demand, active, self.shard_map.as_dict()
+        ):
+            plane.record(quota_decision)
+        for n in names:
+            self._demand[n] = 0
+            self._shipped[n] = 0
+
+    def _announce_migration(self, step: int, name: str) -> None:
+        """Tell every endpoint the pipeline's new membership.
+
+        Producers reroute at the next step boundary, so the update
+        takes effect at ``step + 1``.  Rank 0 speaks for the group —
+        the decision is replicated, the notification need not be.
+        """
+        if self._sim.rank != 0:
+            return
+        spec = self.config.spec(name)
+        routed = route_producers(
+            spec, self.shard_map.shard(name), spec.producers(self.m)
+        )
+        for e in range(self.n):
+            self._world.send(
+                ("svc_migrate", step + 1, name, routed.get(e, ())),
+                self.m + e, CTRL_TAG, charge=False,
+            )
+
+    # -- reporting -------------------------------------------------------------
+    @property
+    def metrics(self):
+        """Single-flow counters when the service has exactly one flow
+        (the legacy bridge surface); per-flow dict otherwise."""
+        if self.router is None:
+            return None
+        senders = [self.router.senders[k] for k in sorted(self.router.senders)]
+        if len(senders) == 1:
+            return senders[0].metrics
+        return {k: s.metrics for k, s in
+                zip(sorted(self.router.senders), senders)}
+
+    def pipeline_metrics(self, name: str) -> dict:
+        if self.router is None:
+            raise ExecutionError("initialize the service bridge first")
+        return self.router.pipeline_metrics(name)
+
+    @property
+    def total_apparent_time(self) -> float:
+        return sum(self.step_costs)

@@ -239,6 +239,10 @@ class ReliableSender:
         config: "TransportConfig | None" = None,
         metrics: TransportMetrics | None = None,
         timeline: Timeline | None = None,
+        data_tag: int = DATA_TAG,
+        ack_tag: int = ACK_TAG,
+        pipeline: str = "",
+        load_board=None,
     ):
         if config is None:
             from repro.transport.config import TransportConfig
@@ -247,6 +251,15 @@ class ReliableSender:
         self.comm = comm
         self.dest = int(dest)
         self.config = config
+        self.data_tag = int(data_tag)
+        self.ack_tag = int(ack_tag)
+        self.pipeline = pipeline
+        #: Optional service-plane aggregate of in-flight bytes per
+        #: endpoint, shared by every sender targeting that endpoint.
+        #: When set, the congestion model sees the *sum* of all tenants'
+        #: outstanding bytes — the shared-bottleneck physics that makes
+        #: admission control matter.
+        self.load_board = load_board
         self.codec = get_codec(config.initial_codec)
         self.policy = config.retry
         self.window = CreditWindow(config.max_inflight)
@@ -263,7 +276,10 @@ class ReliableSender:
             self.channel.charge = False
         self._inflight_bytes = 0
         self._rng = random.Random(f"{config.faults.seed}:{comm.rank}:backoff")
-        peer = f"rank{comm.rank}->rank{dest}"
+        peer = (
+            f"{pipeline}:rank{comm.rank}->rank{dest}"
+            if pipeline else f"rank{comm.rank}->rank{dest}"
+        )
         self.metrics = metrics if metrics is not None else TransportMetrics(
             role="sender", peer=peer
         )
@@ -311,7 +327,8 @@ class ReliableSender:
         clock = current_clock()
         t0 = clock.now
         chunks = encode_step(
-            table, step, sim_time, self.codec, self.chunk_bytes
+            table, step, sim_time, self.codec, self.chunk_bytes,
+            pipeline=self.pipeline,
         )
         self.timeline.record(
             t0, clock.now, name=f"encode step {step}",
@@ -327,28 +344,42 @@ class ReliableSender:
         while pending or inflight:
             while pending and self.window.try_acquire():
                 c = pending.popleft()
-                self._inflight_bytes += c.wire_nbytes
+                self._load_add(c.wire_nbytes)
                 peak = max(peak, self.window.in_flight)
                 self._transmit(c)
                 inflight[c.index] = _InFlight(
                     c, time.monotonic() + self.policy.ack_timeout,
                     current_clock().now,
                 )
-            self.channel.flush(self.dest, DATA_TAG)
+            self.channel.flush(self.dest, self.data_tag)
             self._service_acks(step, inflight)
             self._retransmit_expired(step, inflight)
-        self._inflight_bytes = 0
+        if self._inflight_bytes:
+            self._load_add(-self._inflight_bytes)
         self.metrics.inflight_peak = peak
         self.metrics.max_queue_depth = max(
             self.metrics.max_queue_depth, self.window.max_depth
         )
         self.steps_sent += 1
 
+    def _load_add(self, delta: int) -> None:
+        """Mirror in-flight byte accounting into the shared board."""
+        self._inflight_bytes = max(0, self._inflight_bytes + delta)
+        if self.load_board is not None:
+            self.load_board.add(self.dest, delta)
+
+    def _offered_load(self) -> int:
+        """In-flight bytes the congestion model should see for this link."""
+        if self.load_board is not None:
+            return self.load_board.load(self.dest)
+        return self._inflight_bytes
+
     def _transmit(self, chunk: Chunk) -> None:
         clock = current_clock()
         t0 = clock.now
         self.channel.send(
-            ("chunk", chunk), self.dest, DATA_TAG, load=self._inflight_bytes
+            ("chunk", chunk), self.dest, self.data_tag,
+            load=self._offered_load(),
         )
         if self._pipelined:
             # Pipelined wire model: a window of W outstanding chunks
@@ -378,7 +409,8 @@ class ReliableSender:
             )
             try:
                 frame = self.comm.recv(
-                    self.dest, ACK_TAG, timeout=min(wait, _POLL), charge=False
+                    self.dest, self.ack_tag, timeout=min(wait, _POLL),
+                    charge=False,
                 )
             except TimeoutError:
                 return
@@ -390,8 +422,8 @@ class ReliableSender:
                 if state is None:
                     continue  # duplicate ACK
                 self.window.release()
-                self._inflight_bytes = max(
-                    0, self._inflight_bytes - state.chunk.wire_nbytes
+                self._load_add(
+                    -min(state.chunk.wire_nbytes, self._inflight_bytes)
                 )
                 self.metrics.acks_received += 1
                 self.metrics.observe_ack_latency(clock.now - state.sent_at)
@@ -403,7 +435,10 @@ class ReliableSender:
 
     def _retransmit_expired(self, step: int, inflight: dict[int, _InFlight]) -> None:
         now = time.monotonic()
-        expired = [f for f in inflight.values() if f.deadline <= now]
+        expired = [
+            f for f in sorted(inflight.values(), key=lambda s: s.chunk.index)
+            if f.deadline <= now
+        ]
         if not expired:
             return
         exhausted = [f for f in expired if f.attempts > self.policy.max_retries]
@@ -437,7 +472,7 @@ class ReliableSender:
             f.deadline = time.monotonic() + self.policy.ack_timeout
             self._transmit(f.chunk)
             f.sent_at = clock.now
-        self.channel.flush(self.dest, DATA_TAG)
+        self.channel.flush(self.dest, self.data_tag)
 
     # -- drain ------------------------------------------------------------------
     def close(self) -> None:
@@ -464,17 +499,19 @@ class ReliableSender:
                     category=EventCategory.SYNC,
                 )
                 self.metrics.backoff_time += delay
-            self.channel.send(("fin", self.steps_sent), self.dest, DATA_TAG)
+            self.channel.send(
+                ("fin", self.steps_sent), self.dest, self.data_tag
+            )
             if self._pipelined:
                 cost = getattr(self.comm, "cost", None)
                 if cost is not None:
                     clock.advance(cost.message(_CONTROL_NBYTES))
-            self.channel.flush(self.dest, DATA_TAG)
+            self.channel.flush(self.dest, self.data_tag)
             deadline = time.monotonic() + self.policy.ack_timeout
             while time.monotonic() < deadline:
                 try:
                     frame = self.comm.recv(
-                        self.dest, ACK_TAG, timeout=_POLL, charge=False
+                        self.dest, self.ack_tag, timeout=_POLL, charge=False
                     )
                 except TimeoutError:
                     continue
@@ -502,6 +539,9 @@ class ReliableReceiver:
         config: "TransportConfig | None" = None,
         metrics: TransportMetrics | None = None,
         timeline: Timeline | None = None,
+        data_tag: int = DATA_TAG,
+        ack_tag: int = ACK_TAG,
+        pipeline: str = "",
     ):
         if config is None:
             from repro.transport.config import TransportConfig
@@ -510,8 +550,14 @@ class ReliableReceiver:
         self.comm = comm
         self.source = int(source)
         self.config = config
+        self.data_tag = int(data_tag)
+        self.ack_tag = int(ack_tag)
+        self.pipeline = pipeline
         self.assembler = StepAssembler()
-        peer = f"rank{source}->rank{comm.rank}"
+        peer = (
+            f"{pipeline}:rank{source}->rank{comm.rank}"
+            if pipeline else f"rank{source}->rank{comm.rank}"
+        )
         self.metrics = metrics if metrics is not None else TransportMetrics(
             role="receiver", peer=peer
         )
@@ -521,6 +567,59 @@ class ReliableReceiver:
         self.finished = False
         self.steps_delivered = 0
 
+    def _ingest(self, frame: tuple):
+        """Process one data-direction frame.
+
+        Returns ``("fin", None)`` after answering the drain handshake,
+        ``("step", (step, time, columns))`` when the frame completed a
+        step, ``("chunk", None)`` for verified mid-step progress, and
+        ``("drop", None)`` for corrupt frames (ACK withheld).
+        """
+        if frame[0] == "fin":
+            self._ack(("fin_ack",))
+            self.finished = True
+            return ("fin", None)
+        chunk: Chunk = frame[1]
+        # Every arriving chunk hits the wire — corrupt ones too —
+        # so bytes_in must count it before the checksum verdict;
+        # wire_bytes below stays unique-verified-only.
+        self.metrics.bytes_in += chunk.wire_nbytes
+        if not chunk.verify():
+            # Withhold the ACK; the retransmission carries clean bytes.
+            self.metrics.checksum_failures += 1
+            return ("drop", None)
+        if self.pipeline and chunk.pipeline and chunk.pipeline != self.pipeline:
+            raise TransportError(
+                f"misrouted chunk: pipeline {chunk.pipeline!r} arrived on "
+                f"the {self.pipeline!r} flow from producer {self.source}",
+                details={
+                    "rank": self.comm.rank,
+                    "source": self.source,
+                    "expected": self.pipeline,
+                    "got": chunk.pipeline,
+                },
+            )
+        self.metrics.chunks_received += 1
+        status = self.assembler.offer(chunk)
+        self._ack(("ack", chunk.step, (chunk.index,)))
+        if status == "duplicate":
+            self.metrics.duplicates_dropped += 1
+            return ("chunk", None)
+        self.metrics.wire_bytes += chunk.wire_nbytes  # unique chunks only
+        if status == "complete":
+            clock = current_clock()
+            t0 = clock.now
+            step, sim_time, columns = self.assembler.take(chunk.step)
+            self.timeline.record(
+                t0, clock.now, name=f"decode step {step}",
+                category=EventCategory.COMPUTE,
+            )
+            self.metrics.steps += 1
+            self.metrics.raw_bytes += chunk.raw_nbytes
+            self.steps_delivered += 1
+            return ("step", (step, sim_time, columns))
+        return ("chunk", None)
+
     def receive_step(self):
         """The next complete ``(step, time, columns)``, or None after fin."""
         if self.finished:
@@ -528,7 +627,9 @@ class ReliableReceiver:
         deadline = time.monotonic() + self.config.recv_timeout
         while True:
             try:
-                frame = self.comm.recv(self.source, DATA_TAG, timeout=_POLL)
+                frame = self.comm.recv(
+                    self.source, self.data_tag, timeout=_POLL
+                )
             except TimeoutError:
                 if time.monotonic() > deadline:
                     raise TransportError(
@@ -541,43 +642,41 @@ class ReliableReceiver:
                         },
                     ) from None
                 continue
-            if frame[0] == "fin":
-                self._ack(("fin_ack",))
-                self.finished = True
+            kind, value = self._ingest(frame)
+            if kind == "fin":
                 return None
-            chunk: Chunk = frame[1]
-            # Every arriving chunk hits the wire — corrupt ones too —
-            # so bytes_in must count it before the checksum verdict;
-            # wire_bytes below stays unique-verified-only.
-            self.metrics.bytes_in += chunk.wire_nbytes
-            if not chunk.verify():
-                # Withhold the ACK; the retransmission carries clean bytes.
-                self.metrics.checksum_failures += 1
+            if kind == "drop":
                 continue
             # A verified frame is progress: reset the patience window
             # so a long multi-chunk step on a lossy link is never
             # aborted while chunks are steadily arriving.
             deadline = time.monotonic() + self.config.recv_timeout
-            self.metrics.chunks_received += 1
-            status = self.assembler.offer(chunk)
-            self._ack(("ack", chunk.step, (chunk.index,)))
-            if status == "duplicate":
-                self.metrics.duplicates_dropped += 1
-                continue
-            self.metrics.wire_bytes += chunk.wire_nbytes  # unique chunks only
-            if status == "complete":
-                clock = current_clock()
-                t0 = clock.now
-                step, sim_time, columns = self.assembler.take(chunk.step)
-                self.timeline.record(
-                    t0, clock.now, name=f"decode step {step}",
-                    category=EventCategory.COMPUTE,
-                )
-                self.metrics.steps += 1
-                self.metrics.raw_bytes += chunk.raw_nbytes
-                self.steps_delivered += 1
-                return step, sim_time, columns
+            if kind == "step":
+                return value
+
+    def poll(self):
+        """Drain available frames without blocking (service-plane hook).
+
+        Returns ``None`` when the mailbox is empty (or only partial
+        progress was made), ``("step", (step, time, columns))`` for a
+        completed step, or ``("fin", None)`` once the producer drains.
+        Unlike :meth:`receive_step` this never waits, so one endpoint
+        thread can multiplex many flows without a slow producer
+        stalling its siblings.
+        """
+        if self.finished:
+            return None
+        while True:
+            try:
+                frame = self.comm.recv(self.source, self.data_tag, timeout=0)
+            except TimeoutError:
+                return None
+            kind, value = self._ingest(frame)
+            if kind == "fin":
+                return ("fin", None)
+            if kind == "step":
+                return ("step", value)
 
     def _ack(self, frame: tuple) -> None:
-        self.comm.send(frame, self.source, ACK_TAG, charge=False)
+        self.comm.send(frame, self.source, self.ack_tag, charge=False)
         self.metrics.acks_sent += 1

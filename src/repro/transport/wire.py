@@ -139,6 +139,10 @@ class Chunk:
     raw_nbytes: int
     meta: tuple  # ((column name, dtype str, length), ...)
     payload: bytes
+    #: Service-plane routing stamp; "" for single-pipeline flows.  The
+    #: stamp rides in the fixed-size header, so ``wire_nbytes`` does not
+    #: change with the pipeline name.
+    pipeline: str = ""
 
     @property
     def wire_nbytes(self) -> int:
@@ -163,7 +167,7 @@ class Chunk:
         return Chunk(
             self.version, self.step, self.sim_time, self.index, self.total,
             self.checksum, self.codec, self.raw_nbytes, self.meta,
-            bytes(flipped),
+            bytes(flipped), self.pipeline,
         )
 
 
@@ -173,6 +177,7 @@ def encode_step(
     sim_time: float,
     codec: str | Codec = "none",
     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    pipeline: str = "",
 ) -> list[Chunk]:
     """Serialize a table into wire chunks, charging CPU to the clock.
 
@@ -213,6 +218,7 @@ def encode_step(
                 raw_nbytes=raw_nbytes,
                 meta=meta,
                 payload=payload,
+                pipeline=pipeline,
             )
         )
     return chunks

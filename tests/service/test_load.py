@@ -1,0 +1,48 @@
+"""Tests for the shared offered-load board."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.load import LoadBoard
+
+
+class TestLoadBoard:
+    def test_add_and_read(self):
+        board = LoadBoard()
+        assert board.load(7) == 0
+        board.add(7, 100)
+        board.add(7, 50)
+        board.add(8, 5)
+        assert board.load(7) == 150
+        assert board.load(8) == 5
+
+    def test_clamped_at_zero(self):
+        board = LoadBoard()
+        board.add(1, 10)
+        board.add(1, -99)
+        assert board.load(1) == 0
+
+    def test_snapshot_sorted_copy(self):
+        board = LoadBoard()
+        board.add(5, 1)
+        board.add(2, 2)
+        snap = board.snapshot()
+        assert list(snap) == [2, 5]
+        snap[2] = 999
+        assert board.load(2) == 2
+
+    def test_concurrent_accounting(self):
+        board = LoadBoard()
+
+        def worker():
+            for _ in range(1000):
+                board.add(0, 3)
+                board.add(0, -3)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert board.load(0) == 0

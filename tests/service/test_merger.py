@@ -1,0 +1,93 @@
+"""Tests for the endpoint-side step merger's elastic membership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError
+from repro.service.runtime import StepMerger
+
+
+def _cols(tag):
+    return {"x": tag}
+
+
+class TestStepMerger:
+    def test_merges_in_producer_order(self):
+        merger = StepMerger(producers=(0, 1), members=(0, 1))
+        merger.push(1, 0, 0.0, _cols("b"))
+        assert merger.ready() is None  # producer 0 still in flight
+        merger.push(0, 0, 0.0, _cols("a"))
+        step, t, payloads = merger.ready()
+        assert step == 0
+        assert [p["x"] for p in payloads] == ["a", "b"]
+        assert merger.ready() is None
+        assert merger.pending == 0
+
+    def test_steps_emerge_in_order(self):
+        merger = StepMerger(producers=(0,), members=(0,))
+        merger.push(0, 0, 0.0, _cols("s0"))
+        merger.push(0, 1, 0.1, _cols("s1"))
+        assert merger.ready()[0] == 0
+        step, t, _ = merger.ready()
+        assert step == 1 and t == pytest.approx(0.1)
+
+    def test_finned_producer_stops_blocking(self):
+        merger = StepMerger(producers=(0, 1), members=(0, 1))
+        merger.push(0, 0, 0.0, _cols("a0"))
+        merger.push(1, 0, 0.0, _cols("b0"))
+        merger.ready()
+        merger.push(0, 1, 0.1, _cols("a1"))
+        assert merger.ready() is None  # still waiting on producer 1
+        merger.mark_finned(1)
+        step, _, payloads = merger.ready()
+        assert step == 1
+        assert [p["x"] for p in payloads] == ["a1"]
+
+    def test_data_ahead_of_membership_parks(self):
+        """A migrated-in producer's data waits for the control message."""
+        merger = StepMerger(producers=(0, 1), members=(0,))
+        merger.push(1, 4, 0.4, _cols("new"))
+        assert merger.ready() is None  # rank 1 not a member yet
+        merger.set_membership(4, (0, 1))
+        merger.mark_finned(0)  # old member never ships step 4 here
+        step, _, payloads = merger.ready()
+        assert step == 4
+        assert [p["x"] for p in payloads] == ["new"]
+
+    def test_membership_is_step_indexed(self):
+        merger = StepMerger(producers=(0, 1), members=(0, 1))
+        merger.set_membership(2, (1,))
+        assert merger.members_at(0) == {0, 1}
+        assert merger.members_at(1) == {0, 1}
+        assert merger.members_at(2) == {1}
+        assert merger.members_at(99) == {1}
+
+    def test_migrated_away_producer_not_waited_on(self):
+        merger = StepMerger(producers=(0, 1), members=(0, 1))
+        merger.set_membership(1, (0,))  # rank 1 migrated off after step 0
+        merger.push(0, 0, 0.0, _cols("a0"))
+        merger.push(1, 0, 0.0, _cols("b0"))
+        assert merger.ready()[0] == 0
+        merger.push(0, 1, 0.1, _cols("a1"))
+        step, _, payloads = merger.ready()  # no waiting on rank 1
+        assert step == 1
+        assert [p["x"] for p in payloads] == ["a1"]
+
+    def test_producer_that_skipped_a_step(self):
+        merger = StepMerger(producers=(0, 1), members=(0, 1))
+        merger.push(0, 0, 0.0, _cols("a0"))
+        merger.push(1, 1, 0.1, _cols("b1"))  # rank 1 never shipped step 0
+        step, _, payloads = merger.ready()
+        assert step == 0
+        assert [p["x"] for p in payloads] == ["a0"]
+
+    def test_unknown_producer_rejected(self):
+        merger = StepMerger(producers=(0,), members=(0,))
+        with pytest.raises(TransportError):
+            merger.push(5, 0, 0.0, _cols("?"))
+
+    def test_empty_merger_not_ready(self):
+        merger = StepMerger(producers=(0,), members=())
+        assert merger.ready() is None
+        assert merger.pending == 0

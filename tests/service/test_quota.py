@@ -1,0 +1,189 @@
+"""Tests for the service-plane admission governors (quota + shard)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.quota import QuotaGovernor, ShardGovernor
+
+
+class TestQuotaGovernor:
+    def _gov(self, grants, **kw):
+        kw.setdefault("weights", {"hot": 3.0, "bulk": 1.0})
+        kw.setdefault("budget", 32)
+        return QuotaGovernor(
+            actuator=lambda n, e, c: grants.append((n, e, c)), **kw
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuotaGovernor({"a": 1.0}, budget=0)
+        with pytest.raises(ValueError):
+            QuotaGovernor({"a": 1.0}, budget=8, min_credits=0)
+        with pytest.raises(ValueError):
+            QuotaGovernor({"a": 1.0}, budget=8, min_credits=9)
+        with pytest.raises(ValueError):
+            QuotaGovernor({"a": -1.0}, budget=8)
+
+    def test_converges_to_weighted_fair_shares(self):
+        grants = []
+        gov = self._gov(grants)
+        shards = {"hot": (0,), "bulk": (0,)}
+        active = {"hot": True, "bulk": True}
+        demand = {"hot": 1000, "bulk": 1000}
+        for step in range(12):
+            gov.rebalance(step, demand, active, shards)
+        # 3:1 weights over a 32-credit budget -> 24 / 8.
+        assert gov.credits_for("hot", 0) == 24
+        assert gov.credits_for("bulk", 0) == 8
+
+    def test_ramp_halves_the_gap(self):
+        gov = self._gov([])
+        shards = {"hot": (0,), "bulk": (0,)}
+        active = {"hot": True, "bulk": True}
+        gov.rebalance(0, {}, active, shards)
+        first = gov.credits_for("hot", 0)
+        gov.rebalance(1, {}, active, shards)
+        second = gov.credits_for("hot", 0)
+        assert first < second < 24  # additive-increase toward fair
+
+    def test_idle_tenant_decays_and_budget_is_reclaimed(self):
+        gov = self._gov([])
+        shards = {"hot": (0,), "bulk": (0,)}
+        both = {"hot": True, "bulk": True}
+        for step in range(12):
+            gov.rebalance(step, {}, both, shards)
+        assert gov.credits_for("bulk", 0) == 8
+        only_hot = {"hot": True, "bulk": False}
+        for step in range(12, 24):
+            gov.rebalance(step, {}, only_hot, shards)
+        # The idle tenant multiplicatively decays to the floor and the
+        # active one absorbs the reclaimed credits.
+        assert gov.credits_for("bulk", 0) == gov.min_credits
+        assert gov.credits_for("hot", 0) > 24
+
+    def test_endpoints_budgeted_independently(self):
+        gov = self._gov([])
+        shards = {"hot": (0,), "bulk": (1,)}
+        active = {"hot": True, "bulk": True}
+        for step in range(12):
+            gov.rebalance(step, {}, active, shards)
+        # Alone on its endpoint, each tenant gets the whole budget.
+        assert gov.credits_for("hot", 0) == 32
+        assert gov.credits_for("bulk", 1) == 32
+
+    def test_decisions_and_actuation(self):
+        grants = []
+        gov = self._gov(grants)
+        decisions = gov.rebalance(
+            4, {"hot": 77, "bulk": 0}, {"hot": True, "bulk": False},
+            {"hot": (0,), "bulk": (0,)},
+        )
+        assert len(decisions) == 2  # one per tenant on the endpoint
+        assert all(d.governor == "quota" for d in decisions)
+        assert all(d.applied for d in decisions)
+        by_name = {d.args_dict["pipeline"]: d for d in decisions}
+        assert by_name["hot"].args_dict["demand_bytes"] == 77
+        assert by_name["bulk"].args_dict["active"] is False
+        assert len(grants) == 2
+
+    def test_frozen_logs_without_actuating(self):
+        grants = []
+        gov = self._gov(grants, frozen=True)
+        decisions = gov.rebalance(
+            0, {}, {"hot": True, "bulk": True}, {"hot": (0,), "bulk": (0,)}
+        )
+        assert decisions and all(not d.applied for d in decisions)
+        assert grants == []
+
+    def test_disabled_is_silent(self):
+        gov = self._gov([], enabled=False)
+        assert gov.rebalance(0, {}, {"hot": True}, {"hot": (0,)}) == []
+
+    def test_credits_unknown_before_first_round(self):
+        assert self._gov([]).credits_for("hot", 0) is None
+
+
+class TestShardGovernor:
+    def _gov(self, moves, **kw):
+        kw.setdefault("endpoints", 2)
+        kw.setdefault("cooldown", 2)
+        return ShardGovernor(
+            actuator=lambda n, s: moves.append((n, s)), **kw
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardGovernor(endpoints=0)
+        with pytest.raises(ValueError):
+            ShardGovernor(endpoints=2, skew=1.0)
+        with pytest.raises(ValueError):
+            ShardGovernor(endpoints=2, cooldown=-1)
+
+    def test_migrates_dominant_tenant_off_hot_endpoint(self):
+        moves = []
+        gov = self._gov(moves)
+        shards = {"a": (0,), "c": (0,), "b": (1,)}
+        demand = {"a": 100, "c": 1000, "b": 0}
+        decision, migration = gov.rebalance(0, demand, shards)
+        assert migration == ("c", 0, 1)
+        assert moves == [("c", (1,))]
+        assert decision.applied
+        assert decision.args_dict["pipeline"] == "c"
+
+    def test_cooldown_after_migration(self):
+        moves = []
+        gov = self._gov(moves, cooldown=2)
+        shards = {"a": (0,), "c": (0,)}
+        demand = {"a": 100, "c": 1000}
+        _, migration = gov.rebalance(0, demand, shards)
+        assert migration is not None
+        shards = {"a": (0,), "c": (1,)}
+        # Two cooldown rounds pass with no decision at all.
+        assert gov.rebalance(1, demand, shards) == (None, None)
+        assert gov.rebalance(2, demand, shards) == (None, None)
+
+    def test_balanced_load_is_left_alone(self):
+        gov = self._gov([])
+        shards = {"a": (0,), "b": (1,)}
+        assert gov.rebalance(0, {"a": 100, "b": 100}, shards) == (None, None)
+
+    def test_sole_tenant_cannot_be_separated(self):
+        gov = self._gov([])
+        # Only one tenant on the hot endpoint: nothing to separate.
+        shards = {"a": (0,)}
+        assert gov.rebalance(0, {"a": 1000}, shards) == (None, None)
+
+    def test_no_move_that_would_not_improve(self):
+        gov = self._gov([])
+        # The dominant tenant carries ~all the load; moving it just
+        # swaps which endpoint is hot.
+        shards = {"a": (0,), "c": (0,)}
+        demand = {"a": 0, "c": 10000}
+        decision, migration = gov.rebalance(0, demand, shards)
+        assert migration is None and decision is None
+
+    def test_zero_demand_is_a_no_op(self):
+        gov = self._gov([])
+        assert gov.rebalance(0, {}, {"a": (0,)}) == (None, None)
+
+    def test_single_endpoint_never_migrates(self):
+        gov = ShardGovernor(endpoints=1)
+        assert gov.rebalance(0, {"a": 9}, {"a": (0,)}) == (None, None)
+
+    def test_frozen_logs_but_does_not_move(self):
+        moves = []
+        gov = self._gov(moves, frozen=True)
+        shards = {"a": (0,), "c": (0,)}
+        decision, migration = gov.rebalance(
+            0, {"a": 100, "c": 1000}, shards
+        )
+        assert decision is not None and not decision.applied
+        assert migration is None
+        assert moves == []
+
+    def test_offered_loads_spread_over_shard(self):
+        loads = ShardGovernor.offered_loads(
+            {"a": 100, "b": 60}, {"a": (0, 1), "b": (1,)}, 2
+        )
+        assert loads == [50.0, 110.0]

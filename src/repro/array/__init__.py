@@ -1,0 +1,34 @@
+"""repro.array — the data plane: distributed global arrays.
+
+A :class:`DistributedArray` gives SPMD ranks a single global-index
+view (HDArray-style) over per-rank shards held in pooled
+:mod:`repro.hamr` buffers, partitioned by the transport plane's
+block/cyclic/weighted/chain partitioners.  Ghost regions move through
+the reliable transport channel (:class:`HaloExchanger`), and the
+control plane's :class:`~repro.control.repartition.RepartitionGovernor`
+— driven by :class:`ArrayCoordinator` — re-cuts the partition when
+per-rank busy time or halo traffic skews.
+"""
+
+from repro.array.array import DistributedArray, Shard
+from repro.array.coordinate import ArrayCoordinator
+from repro.array.halo import HALO_ACK_TAG, HALO_DATA_TAG, HaloExchanger
+from repro.array.partition import ArrayPartition
+from repro.array.stencil import (
+    StencilConfig,
+    StencilWorkload,
+    stencil_producer,
+)
+
+__all__ = [
+    "ArrayPartition",
+    "DistributedArray",
+    "Shard",
+    "HaloExchanger",
+    "HALO_DATA_TAG",
+    "HALO_ACK_TAG",
+    "ArrayCoordinator",
+    "StencilConfig",
+    "StencilWorkload",
+    "stencil_producer",
+]

@@ -1,0 +1,179 @@
+"""Coordination rounds driving the array repartition governor.
+
+The :class:`ArrayCoordinator` is the measurement-and-collective half of
+the load-balance loop: workloads charge per-block busy seconds into it
+each step, and on coordination-due steps it allreduces one vector —
+``[nblocks block costs | ranks busy | ranks halo bytes]`` — over the
+array's communicator using the epoch-checked collective, then feeds
+every rank's :class:`~repro.control.repartition.RepartitionGovernor`
+the identical numbers.  Because the governor is deterministic, every
+rank derives the same decision and the same new owner map, and the
+actuator — the array's collective :meth:`repartition` — runs as a
+coordinated step-boundary collective with the shard handoff charged
+through the transport cost model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.array.halo import halo_bytes_by_rank
+from repro.control.repartition import RepartitionGovernor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.array.array import DistributedArray
+    from repro.array.halo import HaloExchanger
+    from repro.control.plan import ControlPlane
+
+__all__ = ["ArrayCoordinator"]
+
+
+class ArrayCoordinator:
+    """Runs the repartition loop for one array over one communicator.
+
+    ``plane`` supplies the configuration (the ``repartition`` governor
+    setting plus ``repartition_skew`` / ``repartition_cooldown`` and
+    the coordination cadence) and receives every decision for the
+    shared log; without a plane the coordinator runs standalone with
+    the governor enabled and the given ``interval``.
+
+    ``warmup`` schedules one cold-start round after that many steps —
+    ahead of the regular cadence — so a badly skewed *initial* layout
+    is corrected without waiting a full interval.
+    """
+
+    def __init__(
+        self,
+        array: "DistributedArray",
+        exchanger: "HaloExchanger",
+        plane: "ControlPlane | None" = None,
+        interval: int = 4,
+        warmup: int = 1,
+        skew: float | None = None,
+        cooldown: int | None = None,
+    ):
+        self.array = array
+        self.exchanger = exchanger
+        self.plane = plane
+        cfg = plane.config if plane is not None else None
+        if cfg is not None:
+            enabled = cfg.enabled and cfg.repartition.enabled
+            frozen = cfg.repartition.frozen
+            interval = cfg.interval * cfg.coordination_interval
+            if skew is None:
+                skew = cfg.repartition_skew
+            if cooldown is None:
+                cooldown = cfg.repartition_cooldown
+        else:
+            enabled, frozen = True, False
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1: {interval}")
+        if warmup < 1:
+            raise ValueError(f"warmup must be >= 1: {warmup}")
+        self.interval = int(interval)
+        self.warmup = int(warmup)
+        self.governor = RepartitionGovernor(
+            actuator=self._apply,
+            skew=1.25 if skew is None else float(skew),
+            cooldown=2 if cooldown is None else int(cooldown),
+            enabled=enabled,
+            frozen=frozen,
+        )
+        self._block_busy: dict[int, float] = {}
+        self._pending_step = 0
+        self.rounds = 0
+        self.repartitions = 0
+        self.blocks_moved = 0
+        self.bytes_moved = 0
+
+    # -- measurement ------------------------------------------------------------
+    def charge(self, block: int, busy: float) -> None:
+        """Account ``busy`` simulated seconds of work to one owned block."""
+        self._block_busy[block] = self._block_busy.get(block, 0.0) + float(
+            busy
+        )
+
+    def observe(
+        self, step: int, block_busy: Mapping[int, float], t: float
+    ) -> None:
+        """Per-step tap: charge this step's per-block busy seconds and
+        run the coordination round when one is due.
+
+        ``t`` is the *simulation* time of the step — deterministic by
+        construction — and becomes the decision timestamp, so decision
+        logs are bit-identical across reruns even when wall-clock
+        scheduling perturbs the simulated clocks.
+        """
+        for b in sorted(block_busy):
+            self.charge(b, block_busy[b])
+        if self.due(step):
+            self.coordinate(step, t)
+
+    def due(self, step: int) -> bool:
+        return step == self.warmup or step % self.interval == 0
+
+    # -- the round --------------------------------------------------------------
+    def coordinate(self, step: int, t: float):
+        """One coordination round (collective over the array's comm).
+
+        Returns the logged :class:`~repro.control.governors.Decision`,
+        or None when the loop is idle (single rank, disabled governor,
+        balanced load, or cooldown).
+        """
+        array = self.array
+        comm = array.comm
+        ranks = comm.size
+        if ranks < 2 or not self.governor.enabled:
+            self._block_busy.clear()
+            return None
+        partition = array.partition
+        nblocks = partition.nblocks
+        rank = comm.rank
+        local = np.zeros(nblocks + 2 * ranks, dtype=np.float64)
+        for b in sorted(self._block_busy):
+            if partition.owners[b] == rank:
+                local[b] = self._block_busy[b]
+        local[nblocks + rank] = float(
+            sum(local[b] for b in partition.blocks_of(rank))
+        )
+        halo = halo_bytes_by_rank(
+            partition, array.halo, array.dtype.itemsize
+        )
+        local[nblocks + ranks + rank] = float(halo[rank])
+        board = comm.coordinated_allreduce(local, op="sum")
+        self.rounds += 1
+        block_costs = [float(v) for v in board[:nblocks]]
+        rank_busy = [float(v) for v in board[nblocks:nblocks + ranks]]
+        halo_bytes = [float(v) for v in board[nblocks + ranks:]]
+        self._pending_step = step
+        decision, _new_owners = self.governor.rebalance(
+            step,
+            partition.owners,
+            block_costs,
+            rank_busy,
+            halo_bytes,
+            t=t,
+        )
+        self._block_busy.clear()
+        if self.plane is not None:
+            self.plane.record(decision)
+        return decision
+
+    def _apply(self, owners: tuple[int, ...]) -> None:
+        """Governor actuator: the collective repartition itself.
+
+        Every rank's governor computed the identical ``owners`` from
+        the identical allreduced vectors, so every rank reaches this
+        call on the same step — the handoff collective lines up by
+        construction.
+        """
+        before = self.array.partition.owners
+        self.bytes_moved += self.array.repartition(
+            list(owners), self.exchanger, self._pending_step
+        )
+        self.repartitions += 1
+        self.blocks_moved += sum(
+            1 for a, b in zip(before, owners) if a != b
+        )

@@ -40,7 +40,12 @@ narrow actuator hooks:
   endpoint credit budgets with AIMD reclaim of idle quota, and
   skew-triggered migration of a pipeline's endpoint assignment, both
   driven by demand vectors allreduced over the producer group
-  (``<control quota="on">``).
+  (``<control quota="on">``);
+- :class:`~repro.control.repartition.RepartitionGovernor` — distributed
+  -array load balancing (:mod:`repro.array`): re-cuts block ownership
+  with the ``chain`` partitioner when allreduced per-rank busy time or
+  halo traffic skews past a threshold, actuating the array's
+  collective shard handoff (``<control repartition="on">``).
 
 A :class:`~repro.control.plan.ControlPlane` owns the governors, the
 signal ring buffer, and the decision log; every decision is also
@@ -65,6 +70,7 @@ from repro.control.governors import (
 from repro.control.plan import ControlConfig, ControlPlane, GovernorSetting
 from repro.control.policy import EWMA, DiscountedUCB, Hysteresis
 from repro.control.quota import QuotaGovernor, ShardGovernor
+from repro.control.repartition import RepartitionGovernor
 from repro.control.signals import SignalBuffer, StepObservation
 
 __all__ = [
@@ -84,6 +90,7 @@ __all__ = [
     "PlacementGovernor",
     "PoolTrimGovernor",
     "QuotaGovernor",
+    "RepartitionGovernor",
     "ShardGovernor",
     "SignalBuffer",
     "StepObservation",

@@ -125,6 +125,14 @@ class ControlConfig:
     #: shard rebalancing).  Off by default: only ``run_service`` runs
     #: coordination rounds, and only when this is enabled.
     quota: GovernorSetting = field(default_factory=lambda: _OFF)
+    #: Distributed-array load balancing: the repartition governor
+    #: re-cuts block ownership when per-rank busy time or halo traffic
+    #: skews (:mod:`repro.array`).  Off by default — only an
+    #: :class:`~repro.array.coordinate.ArrayCoordinator` runs its
+    #: rounds, and only when this is enabled.
+    repartition: GovernorSetting = field(default_factory=lambda: _OFF)
+    repartition_skew: float = 1.25   # rank busy/halo skew (x mean)
+    repartition_cooldown: int = 2    # rounds to settle after a re-cut
     #: Let the pool governor *raise* its watermark under trim/refill
     #: churn (and decay it back when quiet) instead of only trimming.
     pool_growth: bool = False
@@ -162,6 +170,15 @@ class ControlConfig:
             )
         if self.overload < 1.0:
             raise ConfigError(f"overload must be >= 1: {self.overload}")
+        if self.repartition_skew <= 1.0:
+            raise ConfigError(
+                f"repartition_skew must be > 1: {self.repartition_skew}"
+            )
+        if self.repartition_cooldown < 0:
+            raise ConfigError(
+                f"repartition_cooldown must be >= 0: "
+                f"{self.repartition_cooldown}"
+            )
         if self.pool_watermark_kib is not None and self.pool_watermark_kib < 0:
             raise ConfigError(
                 f"pool_watermark_kib must be >= 0: {self.pool_watermark_kib}"
@@ -215,6 +232,11 @@ class ControlConfig:
         settings["quota"] = (
             GovernorSetting.parse(raw_quota) if raw_quota is not None else _OFF
         )
+        raw_repart = attrs.pop("repartition", None)
+        settings["repartition"] = (
+            GovernorSetting.parse(raw_repart)
+            if raw_repart is not None else _OFF
+        )
         raw_growth = attrs.pop("pool_growth", "off").strip().lower()
         if raw_growth in ("1", "true", "yes", "on"):
             pool_growth = True
@@ -261,6 +283,8 @@ class ControlConfig:
             mode_high=_num("mode_high", 0.15, float),
             codec_margin=_num("codec_margin", 1.05, float),
             overload=_num("overload", 1.30, float),
+            repartition_skew=_num("repartition_skew", 1.25, float),
+            repartition_cooldown=_num("repartition_cooldown", 2, int),
             pool_watermark_kib=watermark,
             pool_growth=pool_growth,
             coordination=coordination,

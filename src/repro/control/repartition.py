@@ -1,0 +1,145 @@
+"""The repartition governor: re-cutting a distributed array under skew.
+
+Closes the load-balance loop for :mod:`repro.array`: when per-rank
+busy time (or per-rank halo traffic) skews past a threshold, the
+partition is re-cut with the ``chain`` partitioner using measured
+per-block costs as weights — contiguous spans, so the new layout keeps
+halo surfaces minimal while evening out the summed cost per rank.
+
+Like the service plane's quota/shard governors, this governor measures
+nothing itself: :class:`repro.array.coordinate.ArrayCoordinator`
+allreduces per-block busy seconds and per-rank halo bytes over the
+array's communicator (the epoch-checked collective, so a rank that
+skipped a round fails loudly instead of diverging) and feeds every
+rank the identical vectors.  Each rank then computes the identical
+decision — including the identical new owner map — so actuation is
+just every rank calling the same collective repartition on the same
+step.  Inputs are simulated-clock charges and plan-derived byte
+counts, never wall-jittery signals: seeded reruns produce bit-identical
+decision logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.control.governors import Decision, Governor
+from repro.transport.partition import get_partitioner
+
+__all__ = ["RepartitionGovernor"]
+
+
+class RepartitionGovernor(Governor):
+    """Re-cuts block ownership when busy-time or halo-byte skew crosses
+    the threshold.
+
+    ``actuator(owners)`` receives the new owner tuple; the coordinator
+    wires it to the array's collective repartition (every rank makes
+    the identical call, so the shard handoff is itself coordinated).
+    A cooldown of ``cooldown`` rounds follows every applied re-cut so
+    the new layout's costs are observed before it can be judged again.
+    """
+
+    name = "repartition"
+
+    def __init__(
+        self,
+        actuator=None,
+        skew: float = 1.25,
+        cooldown: int = 2,
+        partitioner: str = "chain",
+        enabled: bool = True,
+        frozen: bool = False,
+    ):
+        super().__init__(actuator, enabled, frozen)
+        if skew <= 1.0:
+            raise ValueError(f"skew threshold must be > 1: {skew}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0: {cooldown}")
+        self.skew = float(skew)
+        self.cooldown = int(cooldown)
+        self.partitioner = str(partitioner)
+        self._hold = 0
+
+    @staticmethod
+    def _skew(values: Sequence[float]) -> float:
+        """max / mean, or 0 when the signal is silent."""
+        total = float(sum(values))
+        if total <= 0.0:
+            return 0.0
+        return max(float(v) for v in values) * len(values) / total
+
+    @staticmethod
+    def _rank_loads(
+        owners: Sequence[int], costs: Sequence[float], ranks: int
+    ) -> list[float]:
+        loads = [0.0] * ranks
+        for b, r in enumerate(owners):
+            loads[r] += float(costs[b])
+        return loads
+
+    def rebalance(
+        self,
+        step: int,
+        owners: Sequence[int],
+        block_costs: Sequence[float],
+        rank_busy: Sequence[float],
+        halo_bytes: Sequence[float],
+        t: float | None = None,
+    ) -> tuple[Decision | None, tuple[int, ...] | None]:
+        """One skew check over node-wide (allreduced) vectors.
+
+        ``block_costs`` is busy seconds charged per block since the
+        last round, ``rank_busy`` the per-rank sums, ``halo_bytes`` the
+        plan-derived per-rank halo traffic.  Returns
+        ``(decision, new_owners)`` — ``new_owners`` only when a re-cut
+        was *applied* (None while frozen, cooling down, balanced, or
+        when the re-cut would not improve the worst rank).
+        """
+        if not self.enabled or len(rank_busy) < 2:
+            return None, None
+        if self._hold > 0:
+            self._hold -= 1
+            return None, None
+        busy_skew = self._skew(rank_busy)
+        halo_skew = self._skew(halo_bytes)
+        if max(busy_skew, halo_skew) < self.skew:
+            return None, None
+        total_cost = float(sum(block_costs))
+        if total_cost <= 0.0:
+            return None, None
+        ranks = len(rank_busy)
+        new_owners = tuple(
+            get_partitioner(self.partitioner).assign(
+                len(block_costs), ranks, [float(c) for c in block_costs]
+            )
+        )
+        moved = sum(1 for a, b in zip(owners, new_owners) if a != b)
+        if moved == 0:
+            return None, None
+        cur = self._rank_loads(owners, block_costs, ranks)
+        new = self._rank_loads(new_owners, block_costs, ranks)
+        if max(new) >= max(cur):
+            return None, None  # the re-cut would not improve the worst rank
+        applied = self._actuate(new_owners)
+        if applied:
+            self._hold = self.cooldown
+        decision = self._decision(
+            step, t,
+            f"repartition: move {moved} of {len(block_costs)} blocks",
+            (
+                f"rank busy skew {busy_skew:.2f}x, halo skew "
+                f"{halo_skew:.2f}x mean across {ranks} ranks; chain re-cut "
+                f"drops the worst rank from {max(cur):.3g}s to "
+                f"{max(new):.3g}s of charged cost"
+            ),
+            applied,
+            moved=moved,
+            blocks=len(block_costs),
+            ranks=ranks,
+            busy_skew=round(busy_skew, 6),
+            halo_skew=round(halo_skew, 6),
+            worst_before=round(max(cur), 9),
+            worst_after=round(max(new), 9),
+        )
+        return decision, (new_owners if applied else None)

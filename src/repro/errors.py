@@ -123,6 +123,15 @@ class TransportError(MPIError):
     """
 
 
+class ArrayError(ReproError):
+    """Failure in the distributed-array plane (:mod:`repro.array`).
+
+    Raised for invalid partitions (fewer blocks than ranks), global
+    indices outside the array, non-unit-stride slices, and misuse of
+    the SPMD collectives; ``details`` carries the rank/shape context.
+    """
+
+
 class ConfigError(ReproError):
     """Malformed or semantically invalid run-time XML configuration."""
 

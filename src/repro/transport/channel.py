@@ -10,10 +10,17 @@ On top of the channel sit the two reliable endpoints:
 
 - :class:`ReliableSender` — transmits chunks under a bounded credit
   window (:mod:`repro.transport.flow`), collects per-chunk ACKs, and
-  retransmits expired chunks with exponential backoff
-  (:mod:`repro.transport.retry`).  Backoff is charged to the sender's
-  simulated clock, so fault recovery is visible on the timeline and a
-  clean run costs exactly serialization plus wire time.
+  retransmits lost chunks with exponential backoff
+  (:mod:`repro.transport.retry`).  Loss is decided on the send side
+  (faults are injected from a seeded RNG), so the channel reports each
+  frame's delivery verdict at send time and the sender schedules
+  retransmissions from that verdict instead of a wall-clock timer:
+  retry counts are a pure function of the seeds, immune to CPU
+  contention.  Backoff is charged to the sender's simulated clock, so
+  fault recovery is visible on the timeline and a clean run costs
+  exactly serialization plus wire time.  ``RetryPolicy.ack_timeout``
+  survives only as the wall-clock stall guard that detects a peer
+  that never serves.
 - :class:`ReliableReceiver` — verifies checksums (a corrupt chunk is
   silently dropped: the missing ACK triggers retransmission), dedups
   by (step, chunk) sequence number, ACKs idempotently, and honors the
@@ -130,14 +137,24 @@ class Channel:
     twice.  ``load`` is the sender's current in-flight byte count —
     ignored here, consumed by :class:`FaultyChannel`'s congestion
     model.
+
+    :meth:`send` returns the frame's *delivery verdict*: True when the
+    frame will reach the peer's mailbox intact, False when it was lost
+    or corrupted en route.  A clean channel always delivers; the faulty
+    channel knows the verdict at send time because it injects the
+    faults itself.  The reliable sender consumes the verdict purely for
+    retransmit *scheduling* — it produces the same retransmission
+    sequence a timeout-driven sender would, minus the wall-clock
+    sensitivity.
     """
 
     def __init__(self, comm: "Communicator"):
         self.comm = comm
         self.charge = True
 
-    def send(self, frame: tuple, dest: int, tag: int, load: int = 0) -> None:
+    def send(self, frame: tuple, dest: int, tag: int, load: int = 0) -> bool:
         self.comm.send(frame, dest, tag, charge=self.charge)
+        return True
 
     def flush(self, dest: int, tag: int) -> None:
         """Release any frames the channel is holding back (no-op)."""
@@ -177,15 +194,20 @@ class FaultyChannel(Channel):
             p = min(0.95, p + f.congestion_drop * over)
         return p
 
-    def send(self, frame: tuple, dest: int, tag: int, load: int = 0) -> None:
+    def send(self, frame: tuple, dest: int, tag: int, load: int = 0) -> bool:
         f = self.faults
+        deliverable = True
         if (
             frame[0] == "chunk"
             and f.corrupt
             and self._rng.random() < f.corrupt
         ):
+            # The corrupt frame still travels (and bills wire bytes at
+            # the receiver) but fails its checksum there, so no ACK
+            # will ever come back: the verdict is already "lost".
             frame = ("chunk", frame[1].corrupted())
             self.injected["corrupt"] += 1
+            deliverable = False
         p_drop = self._drop_probability(frame, load)
         if p_drop and self._rng.random() < p_drop:
             self.injected["drop"] += 1
@@ -196,16 +218,17 @@ class FaultyChannel(Channel):
                 if cost is not None:
                     current_clock().advance(cost.message(_frame_nbytes(frame)))
             self._release(dest, tag)
-            return
+            return False
         if f.reorder and self._stash is None and self._rng.random() < f.reorder:
             self.injected["reorder"] += 1
             self._stash = (frame, dest, tag)
-            return
+            return deliverable
         self.comm.send(frame, dest, tag, charge=self.charge)
         if f.duplicate and self._rng.random() < f.duplicate:
             self.injected["duplicate"] += 1
             self.comm.send(frame, dest, tag, charge=self.charge)
         self._release(dest, tag)
+        return deliverable
 
     def _release(self, dest: int, tag: int) -> None:
         if self._stash is not None:
@@ -218,14 +241,20 @@ class FaultyChannel(Channel):
 
 
 class _InFlight:
-    """Book-keeping for one transmitted-but-unACKed chunk."""
+    """Book-keeping for one transmitted-but-unACKed chunk.
 
-    __slots__ = ("chunk", "attempts", "deadline", "sent_at")
+    ``delivered`` is the channel's verdict for the last transmission:
+    True means an ACK is coming (block for it), False means the frame
+    was lost or corrupted and must be retransmitted.  The stall guard
+    demotes delivered chunks to lost when the peer never serves.
+    """
 
-    def __init__(self, chunk: Chunk, deadline: float, sent_at: float):
+    __slots__ = ("chunk", "attempts", "delivered", "sent_at")
+
+    def __init__(self, chunk: Chunk, delivered: bool, sent_at: float):
         self.chunk = chunk
         self.attempts = 1
-        self.deadline = deadline
+        self.delivered = delivered
         self.sent_at = sent_at  # simulated clock at last transmit
 
 
@@ -346,14 +375,16 @@ class ReliableSender:
                 c = pending.popleft()
                 self._load_add(c.wire_nbytes)
                 peak = max(peak, self.window.in_flight)
-                self._transmit(c)
-                inflight[c.index] = _InFlight(
-                    c, time.monotonic() + self.policy.ack_timeout,
-                    current_clock().now,
-                )
+                delivered = self._transmit(c)
+                inflight[c.index] = _InFlight(c, delivered, clock.now)
             self.channel.flush(self.dest, self.data_tag)
-            self._service_acks(step, inflight)
-            self._retransmit_expired(step, inflight)
+            if any(f.delivered for f in inflight.values()):
+                self._await_acks(step, inflight)
+            elif inflight:
+                # Nothing in flight is awaiting an ACK: the sweep's
+                # position in the send sequence is a pure function of
+                # the fault seeds, never of wall-clock scheduling.
+                self._retransmit_lost(step, inflight)
         if self._inflight_bytes:
             self._load_add(-self._inflight_bytes)
         self.metrics.inflight_peak = peak
@@ -374,10 +405,10 @@ class ReliableSender:
             return self.load_board.load(self.dest)
         return self._inflight_bytes
 
-    def _transmit(self, chunk: Chunk) -> None:
+    def _transmit(self, chunk: Chunk) -> bool:
         clock = current_clock()
         t0 = clock.now
-        self.channel.send(
+        delivered = self.channel.send(
             ("chunk", chunk), self.dest, self.data_tag,
             load=self._offered_load(),
         )
@@ -398,22 +429,31 @@ class ReliableSender:
         )
         self.metrics.chunks_sent += 1
         self.metrics.bytes_out += chunk.wire_nbytes
+        return delivered
 
-    def _service_acks(self, step: int, inflight: dict[int, _InFlight]) -> None:
-        """Drain the control plane until an ACK lands or a deadline nears."""
+    def _await_acks(self, step: int, inflight: dict[int, _InFlight]) -> None:
+        """Block until one ACK lands (or the mute-peer guard fires).
+
+        Every chunk marked ``delivered`` WILL be ACKed once the peer
+        processes it — loss was ruled out at send time — so blocking
+        here is safe and keeps retry counts independent of wall-clock
+        load.  The ``ack_timeout`` stall guard exists only for a peer
+        that never serves: on expiry every in-flight chunk is demoted
+        to lost, handing it to the retry path and its bounded budget.
+        """
         clock = current_clock()
-        while inflight:
-            wait = max(
-                0.001,
-                min(f.deadline for f in inflight.values()) - time.monotonic(),
-            )
+        guard = time.monotonic() + self.policy.ack_timeout
+        while True:
             try:
                 frame = self.comm.recv(
-                    self.dest, self.ack_tag, timeout=min(wait, _POLL),
-                    charge=False,
+                    self.dest, self.ack_tag, timeout=_POLL, charge=False
                 )
             except TimeoutError:
-                return
+                if time.monotonic() >= guard:
+                    for f in inflight.values():
+                        f.delivered = False
+                    return
+                continue
             if frame[0] != "ack" or frame[1] != step:
                 continue  # stale control traffic from an earlier step
             progressed = False
@@ -433,15 +473,18 @@ class ReliableSender:
             if progressed:
                 return
 
-    def _retransmit_expired(self, step: int, inflight: dict[int, _InFlight]) -> None:
-        now = time.monotonic()
-        expired = [
-            f for f in sorted(inflight.values(), key=lambda s: s.chunk.index)
-            if f.deadline <= now
-        ]
-        if not expired:
-            return
-        exhausted = [f for f in expired if f.attempts > self.policy.max_retries]
+    def _retransmit_lost(self, step: int, inflight: dict[int, _InFlight]) -> None:
+        """Retransmit every in-flight chunk the channel reported lost.
+
+        Reached only when nothing in flight is awaiting an ACK, so the
+        sweep happens at a deterministic point in the send sequence and
+        every fault draw — hence every retry count — is a pure function
+        of the seeds.  One backoff per sweep: the sender pauses, then
+        retransmits everything lost — charged to the simulated clock so
+        fault recovery shows up in the trace (and never on a clean run).
+        """
+        lost = sorted(inflight.values(), key=lambda s: s.chunk.index)
+        exhausted = [f for f in lost if f.attempts > self.policy.max_retries]
         if exhausted:
             c = exhausted[0].chunk
             raise TransportError(
@@ -452,12 +495,9 @@ class ReliableSender:
                     "retries": self.policy.max_retries,
                 },
             )
-        # One backoff per sweep: the sender pauses, then retransmits
-        # everything overdue — charged to the simulated clock so fault
-        # recovery shows up in the trace (and never on a clean run).
         clock = current_clock()
         delay = self.policy.backoff(
-            min(f.attempts for f in expired), self._rng
+            min(f.attempts for f in lost), self._rng
         )
         t0 = clock.now
         clock.advance(delay)
@@ -466,11 +506,10 @@ class ReliableSender:
             category=EventCategory.SYNC,
         )
         self.metrics.backoff_time += delay
-        for f in expired:
+        for f in lost:
             self.metrics.retries += 1
             f.attempts += 1
-            f.deadline = time.monotonic() + self.policy.ack_timeout
-            self._transmit(f.chunk)
+            f.delivered = self._transmit(f.chunk)
             f.sent_at = clock.now
         self.channel.flush(self.dest, self.data_tag)
 
@@ -479,9 +518,13 @@ class ReliableSender:
         """Graceful drain: ``fin`` / ``fin_ack`` handshake with retries.
 
         Drain-phase retransmissions use the same accounting as the
-        data path (:meth:`_retransmit_expired`): a retry counter, a
+        data path (:meth:`_retransmit_lost`): a retry counter, a
         backoff charged to the simulated clock, and a timeline event —
         fault recovery during drain is just as visible as mid-step.
+        A fin the channel reports lost is retransmitted immediately
+        (no wall-clock wait — the verdict is already in); the
+        ``ack_timeout`` wait survives only as the stall guard for a
+        delivered fin whose peer never answers.
         """
         if self._closed:
             return
@@ -499,7 +542,7 @@ class ReliableSender:
                     category=EventCategory.SYNC,
                 )
                 self.metrics.backoff_time += delay
-            self.channel.send(
+            delivered = self.channel.send(
                 ("fin", self.steps_sent), self.dest, self.data_tag
             )
             if self._pipelined:
@@ -508,7 +551,7 @@ class ReliableSender:
                     clock.advance(cost.message(_CONTROL_NBYTES))
             self.channel.flush(self.dest, self.data_tag)
             deadline = time.monotonic() + self.policy.ack_timeout
-            while time.monotonic() < deadline:
+            while delivered and time.monotonic() < deadline:
                 try:
                     frame = self.comm.recv(
                         self.dest, self.ack_tag, timeout=_POLL, charge=False

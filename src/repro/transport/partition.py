@@ -9,7 +9,11 @@ redistribution a per-run choice:
 - ``cyclic`` — round-robin, which decorrelates endpoint load from any
   spatial gradient in the producer ordering;
 - ``weighted`` — greedy longest-processing-time assignment balancing
-  the sum of per-producer payload weights (bytes/step) per endpoint.
+  the sum of per-producer payload weights (bytes/step) per endpoint;
+- ``chain`` — contiguous spans with near-equal weight sums, the 1-D
+  chains-on-chains decomposition: balanced like ``weighted`` but
+  adjacency-preserving like ``block``, which keeps halo surfaces
+  minimal for stencil-style consumers (:mod:`repro.array`).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ __all__ = [
     "BlockPartitioner",
     "CyclicPartitioner",
     "WeightedPartitioner",
+    "ChainPartitioner",
     "available_partitioners",
     "get_partitioner",
     "register_partitioner",
@@ -105,9 +110,62 @@ class WeightedPartitioner(Partitioner):
         return out
 
 
+class ChainPartitioner(Partitioner):
+    """Contiguous spans with near-equal weight sums (chains-on-chains).
+
+    The classic 1-D load-balanced decomposition: walk the producers in
+    index order and cut where the weight prefix sum crosses each
+    endpoint's fair share, keeping every span non-empty.  Uniform (or
+    omitted) weights degenerate to the block partitioner's layout;
+    skewed weights shift the cut points so each endpoint's *summed*
+    weight evens out while spatial adjacency — and therefore minimal
+    halo surface for stencil-like consumers — is preserved.
+    """
+
+    name = "chain"
+
+    def assign(self, m, n, weights=None):
+        self._check(m, n)
+        if weights is None:
+            weights = [1.0] * m
+        if len(weights) != m:
+            raise TransportError(
+                f"chain partitioner needs one weight per producer: "
+                f"got {len(weights)} for m={m}",
+                details={"m": m, "weights": len(weights)},
+            )
+        if any(w < 0 for w in weights):
+            raise TransportError("producer weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0.0:
+            return BlockPartitioner().assign(m, n)
+        out = [0] * m
+        acc = 0.0
+        e = 0
+        for p in range(m):
+            if e < n - 1 and p > 0 and out[p - 1] == e:
+                # Forced cut: the producers left must still cover one
+                # endpoint each.  Fair-share cut: the running sum (with
+                # half of this producer's weight, so a heavy producer
+                # lands on whichever side it overlaps most) crossed
+                # this endpoint's boundary.
+                forced = (m - p) == (n - e)
+                crossed = (
+                    acc + float(weights[p]) / 2.0 >= (e + 1) * total / n
+                )
+                if forced or crossed:
+                    e += 1
+            out[p] = e
+            acc += float(weights[p])
+        return out
+
+
 _PARTITIONERS: dict[str, type[Partitioner]] = {
     cls.name: cls
-    for cls in (BlockPartitioner, CyclicPartitioner, WeightedPartitioner)
+    for cls in (
+        BlockPartitioner, CyclicPartitioner, WeightedPartitioner,
+        ChainPartitioner,
+    )
 }
 
 

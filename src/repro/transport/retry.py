@@ -2,9 +2,15 @@
 
 The policy separates two time bases on purpose:
 
-- ``ack_timeout`` is *wall-clock* seconds — how long the sender's
-  thread actually polls for ACKs before declaring a chunk lost (the
-  threaded simulator delivers messages in real time);
+- ``ack_timeout`` is *wall-clock* seconds — the stall guard that
+  detects a peer that never serves.  Retransmit *scheduling* does not
+  use it: the channel reports each frame's delivery verdict at send
+  time (faults are injected sender-side from a seeded RNG), so lost
+  chunks are retransmitted at deterministic points in the send
+  sequence and retry counts are load-proof.  The guard fires only
+  when a chunk that *was* delivered is never ACKed — a mute endpoint
+  — and demotes it to the retry path so the budget still bounds the
+  wait;
 - ``backoff(attempt)`` is *simulated* seconds — the delay a real
   sender would insert before retransmitting, charged to the sender's
   :class:`~repro.hw.clock.SimClock` so fault recovery is visible on
@@ -27,7 +33,7 @@ class RetryPolicy:
     """How hard delivery tries before giving up."""
 
     max_retries: int = 8
-    ack_timeout: float = 0.05  # wall-clock seconds per attempt
+    ack_timeout: float = 0.05  # wall-clock stall guard per attempt
     backoff_base: float = us(50.0)  # simulated seconds, first retry
     backoff_factor: float = 2.0
     backoff_max: float = us(5000.0)

@@ -1,0 +1,180 @@
+"""Halo exchange: the plan, the wire traffic, the fault tolerance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array import ArrayPartition, DistributedArray, HaloExchanger
+from repro.array.halo import halo_bytes_by_rank, halo_plan
+from repro.errors import ArrayError
+from repro.mpi import run_spmd
+from repro.transport.config import TransportConfig
+from repro.transport.retry import RetryPolicy
+
+
+def ghosts_from_dense(array, dense):
+    """Expected ghost contents for every owned shard, clipped at the
+    global edges (edge ghosts keep their allocation fill of zero)."""
+    out = {}
+    for b in sorted(array.shards):
+        s = array.shards[b]
+        left = np.zeros(array.halo)
+        lo = max(0, s.start - array.halo)
+        if s.start > 0:
+            left[array.halo - (s.start - lo):] = dense[lo:s.start]
+        right = np.zeros(array.halo)
+        hi = min(len(dense), s.stop + array.halo)
+        if s.stop < len(dense):
+            right[:hi - s.stop] = dense[s.stop:hi]
+        out[b] = (left, right)
+    return out
+
+
+def exchange_and_check(comm, array, dense, transport=None, steps=1):
+    array[:] = dense
+    exchanger = HaloExchanger(comm, transport)
+    for step in range(1, steps + 1):
+        exchanger.exchange(array, step)
+    expected = ghosts_from_dense(array, dense)
+    failures = []
+    for b in sorted(array.shards):
+        s = array.shards[b]
+        left, right = expected[b]
+        if not np.array_equal(s.left_ghost, left):
+            failures.append((b, "L", s.left_ghost.copy(), left))
+        if not np.array_equal(s.right_ghost, right):
+            failures.append((b, "R", s.right_ghost.copy(), right))
+    exchanger.close()
+    return failures, exchanger.halo_bytes_moved
+
+
+class TestPlan:
+    def test_zero_halo_means_no_plan(self):
+        assert halo_plan(ArrayPartition(64, 2, block_rows=8), 0) == {}
+
+    def test_block_layout_has_one_remote_edge_pair(self):
+        p = ArrayPartition(64, 2, block_rows=8)  # ranks split at row 32
+        plan = halo_plan(p, 2)
+        remote = {k for k in plan if k[0] != k[1]}
+        assert remote == {(0, 1), (1, 0)}
+        # Rank 1's block 4 needs rows [30, 32) from rank 0.
+        assert (4, "L", 30, 32) in plan[(0, 1)]
+
+    def test_interior_edges_stay_on_the_diagonal(self):
+        p = ArrayPartition(64, 2, block_rows=8)
+        plan = halo_plan(p, 2)
+        for (src, dst), entries in plan.items():
+            for b, _side, lo, hi in entries:
+                assert p.owners[b] == dst
+                assert all(
+                    p.owner_of(g) == src for g in range(lo, hi)
+                )
+
+    def test_wide_halo_splits_across_owners(self):
+        # halo 3 > block_rows 2: one ghost region spans two owners.
+        p = ArrayPartition(8, 4, block_rows=2)
+        plan = halo_plan(p, 3)
+        # Block 0 (rank 0) needs rows [2, 5): rank 1's [2,4) + rank 2's [4,5).
+        assert (0, "R", 2, 4) in plan[(1, 0)]
+        assert (0, "R", 4, 5) in plan[(2, 0)]
+
+    def test_bytes_by_rank_counts_both_directions(self):
+        p = ArrayPartition(64, 2, block_rows=8)
+        nbytes = halo_bytes_by_rank(p, 2, 8)
+        # One remote boundary: each side sends 2 rows and receives 2.
+        assert nbytes == [32, 32]
+
+    def test_bytes_scale_with_surface(self):
+        block = ArrayPartition(64, 4, block_rows=4)
+        cyclic = ArrayPartition(64, 4, block_rows=4, partitioner="cyclic")
+        assert sum(halo_bytes_by_rank(cyclic, 1, 8)) > sum(
+            halo_bytes_by_rank(block, 1, 8)
+        )
+
+
+class TestExchange:
+    @pytest.mark.parametrize("partitioner", ["block", "cyclic"])
+    @pytest.mark.parametrize("halo", [1, 2, 3])
+    def test_ghosts_match_dense_neighborhood(self, partitioner, halo):
+        dense = np.arange(40, dtype=np.float64) + 1.0
+
+        def main(comm):
+            array = DistributedArray.create(
+                comm, 40, partitioner=partitioner, block_rows=5,
+                halo=halo, device_id=0,
+            )
+            failures, _ = exchange_and_check(comm, array, dense)
+            array.close()
+            return failures
+
+        for failures in run_spmd(4, main):
+            assert not failures
+
+    def test_repeated_exchanges_reuse_flows(self):
+        dense = np.linspace(0.0, 1.0, 32)
+
+        def main(comm):
+            array = DistributedArray.create(
+                comm, 32, block_rows=8, halo=1, device_id=0,
+            )
+            failures, nbytes = exchange_and_check(
+                comm, array, dense, steps=3
+            )
+            array.close()
+            return failures, nbytes
+
+        for failures, _nbytes in run_spmd(2, main):
+            assert not failures
+
+    def test_exchange_survives_seeded_faults(self):
+        dense = np.arange(48, dtype=np.float64)
+        hostile = TransportConfig(
+            chunk_bytes=64,
+            retry=RetryPolicy(max_retries=40, ack_timeout=0.02),
+        ).with_faults(drop=0.2, duplicate=0.05, reorder=0.1, seed=7)
+
+        def main(comm):
+            array = DistributedArray.create(
+                comm, 48, block_rows=6, halo=2, device_id=0,
+            )
+            failures, _ = exchange_and_check(
+                comm, array, dense, transport=hostile, steps=2
+            )
+            array.close()
+            return failures
+
+        for failures in run_spmd(4, main):
+            assert not failures
+
+    def test_single_rank_exchange_is_all_local(self):
+        dense = np.arange(16, dtype=np.float64)
+
+        def main(comm):
+            array = DistributedArray.create(
+                comm, 16, block_rows=4, halo=1, device_id=0,
+            )
+            failures, nbytes = exchange_and_check(comm, array, dense)
+            array.close()
+            return failures, nbytes
+
+        [(failures, nbytes)] = run_spmd(1, main)
+        assert not failures
+        assert nbytes == 0  # every ghost fill was a local copy
+
+    def test_closed_exchanger_rejects_use(self):
+        def main(comm):
+            array = DistributedArray.create(
+                comm, 16, block_rows=4, halo=1, device_id=0,
+            )
+            exchanger = HaloExchanger(comm)
+            exchanger.exchange(array, 1)
+            exchanger.close()
+            with pytest.raises(ArrayError):
+                exchanger.exchange(array, 2)
+            with pytest.raises(ArrayError):
+                exchanger.handoff(array, [], 2)
+            array.close()
+            return True
+
+        assert run_spmd(1, main) == [True]

@@ -1,0 +1,108 @@
+"""Acceptance: the adaptive stencil on a lossy link reproduces exactly.
+
+A four-rank Jacobi stencil runs with the repartition governor armed
+and seeded drop/duplicate/reorder faults injected into every halo and
+handoff flow.  The governor's signals — per-block charged seconds and
+plan-derived halo bytes — are pure functions of the partition and the
+step, so the *entire* decision log (step, action, reason, structured
+args, and the simulation-time stamp ``t = step * dt``) must reproduce
+bit-identically: across ranks within one run, and across reruns.  The
+physics must too, down to the last bit, because fault recovery and
+shard migration may never perturb the numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.array import StencilConfig, StencilWorkload
+from repro.control.plan import ControlConfig, ControlPlane
+from repro.hamr.pool import reset_pools
+from repro.hamr.runtime import set_active_device, set_current_clock
+from repro.hamr.stream import reset_default_streams
+from repro.hw.clock import SimClock
+from repro.hw.node import reset_node
+from repro.mpi import run_spmd
+from repro.mpi.comm import CommCostModel
+from repro.transport.config import TransportConfig
+from repro.transport.retry import RetryPolicy
+from repro.units import gbs, us
+
+RANKS = 4
+
+TRANSPORT = TransportConfig(
+    chunk_bytes=256,
+    retry=RetryPolicy(max_retries=40, ack_timeout=0.02),
+).with_faults(drop=0.15, duplicate=0.05, reorder=0.10, seed=23)
+
+#: Three of sixteen ownership blocks run hot from step 1 — enough busy
+#: skew on rank 0 that the warmup round re-cuts the chain immediately.
+CONFIG = StencilConfig(
+    length=512, steps=12, block_rows=32,
+    compute_rate=2.0e6, hotspot=(0.0, 0.1875), hotspot_cost=6.0,
+)
+
+CONTROL = ControlConfig.from_xml_attrs(
+    {"execution": "off", "codec": "off", "placement": "off",
+     "pool": "off", "repartition": "on", "interval": "4"},
+)
+
+SLOW_FABRIC = CommCostModel(latency=us(20.0), bandwidth=gbs(0.5))
+
+
+def rank_main(comm):
+    plane = ControlPlane(CONTROL, comm=comm)
+    workload = StencilWorkload(
+        comm, CONFIG, transport=TRANSPORT, plane=plane, adaptive=True,
+    )
+    summary = workload.run()
+    field = workload.u[:]
+    drops = workload.exchanger.drops_recovered
+    workload.close()
+    return [d.to_dict() for d in plane.decisions], summary, field, drops
+
+
+def run_once(name):
+    # Two runs share the process: scrub the substrate state by hand the
+    # way the per-test fixture does, so the second run starts cold.
+    reset_node()
+    reset_default_streams()
+    reset_pools()
+    set_current_clock(SimClock(name=name))
+    set_active_device(0)
+    return run_spmd(RANKS, rank_main, cost=SLOW_FABRIC)
+
+
+class TestArrayDeterminism:
+    def test_decision_logs_identical_across_ranks_and_reruns(self):
+        """Same seeds, same decisions — including timestamps.
+
+        Unlike the service plane (whose decisions stamp measured clock
+        time), array decisions stamp simulation time ``step * dt``, so
+        the logs must match exactly with no tolerance at all.
+        """
+        first = run_once("array-determinism-a")
+        second = run_once("array-determinism-b")
+
+        logs_a = [log for log, _s, _f, _d in first]
+        logs_b = [log for log, _s, _f, _d in second]
+        # Replicated control state: every rank walked the same log, and
+        # the rerun replayed it verbatim.
+        assert all(log == logs_a[0] for log in logs_a[1:])
+        assert logs_a == logs_b
+
+        # The governor genuinely steered (warmup round fired at least
+        # once) and every rank switched to the same plan.
+        assert any(d["applied"] for d in logs_a[0])
+        owners = {s["owners"] for _l, s, _f, _d in first}
+        assert len(owners) == 1
+        assert all(s["repartitions"] >= 1 for _l, s, _f, _d in first)
+
+    def test_physics_bit_identical_across_reruns(self):
+        first = run_once("array-physics-a")
+        second = run_once("array-physics-b")
+        for (_la, sa, fa, _da), (_lb, sb, fb, _db) in zip(first, second):
+            np.testing.assert_array_equal(fa, fb)
+            assert sa["checksum"] == sb["checksum"]
+        # The link was genuinely lossy: every rank recovered drops.
+        assert all(d > 0 for _l, _s, _f, d in first)

@@ -31,6 +31,7 @@ def test_all_examples_are_covered():
         "placement_sweep.py",
         "galaxy_intransit.py",
         "profiling_deep_dive.py",
+        "stencil.py",
         "transport_faults.py",
     }
     assert set(ALL_EXAMPLES) == covered
@@ -75,6 +76,14 @@ def test_profiling_deep_dive(monkeypatch, capsys, tmp_path):
     run_example("profiling_deep_dive.py", [str(trace)], monkeypatch)
     assert trace.exists()
     assert "utilization" in capsys.readouterr().out
+
+
+def test_stencil(monkeypatch, capsys, tmp_path):
+    run_example("stencil.py", [str(tmp_path)], monkeypatch)
+    out = capsys.readouterr().out
+    assert "identical physics" in out
+    assert "endpoints reassembled" in out
+    assert (tmp_path / "stencil_trace.json").exists()
 
 
 def test_transport_faults(monkeypatch, capsys, tmp_path):

@@ -14,7 +14,7 @@ from repro.transport.partition import (
 class TestRegistry:
     def test_available(self):
         names = available_partitioners()
-        assert {"block", "cyclic", "weighted"} <= set(names)
+        assert {"block", "cyclic", "weighted", "chain"} <= set(names)
 
     def test_unknown(self):
         with pytest.raises(TransportError):
@@ -66,7 +66,35 @@ class TestWeighted:
             get_partitioner("weighted").assign(4, 2, (1.0, 2.0))
 
 
-@pytest.mark.parametrize("name", ["block", "cyclic", "weighted"])
+class TestChain:
+    def test_uniform_weights_match_block_layout(self):
+        assert get_partitioner("chain").assign(8, 4) == \
+            get_partitioner("block").assign(8, 4)
+
+    def test_spans_are_contiguous(self):
+        assign = get_partitioner("chain").assign(10, 3, (1, 5, 1, 1, 1, 5, 1, 1, 1, 1))
+        assert assign == sorted(assign)
+
+    def test_heavy_block_isolated(self):
+        # One block outweighs the rest combined: the cut leaves it
+        # alone on its endpoint instead of pairing it with neighbors.
+        assign = get_partitioner("chain").assign(5, 2, (20, 1, 1, 1, 1))
+        assert assign.count(assign[0]) == 1
+
+    def test_balances_weighted_sums(self):
+        weights = (4, 4, 1, 1, 1, 1, 1, 1, 1, 1)
+        assign = get_partitioner("chain").assign(10, 4, weights)
+        loads = [0.0] * 4
+        for b, e in enumerate(assign):
+            loads[e] += weights[b]
+        assert max(loads) <= 2 * (sum(weights) / 4)
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(TransportError):
+            get_partitioner("chain").assign(4, 2, (1.0, 2.0))
+
+
+@pytest.mark.parametrize("name", ["block", "cyclic", "weighted", "chain"])
 @pytest.mark.parametrize("m,n", [(1, 1), (4, 2), (5, 2), (7, 3), (8, 1)])
 class TestInvariants:
     def test_every_producer_assigned_valid_endpoint(self, name, m, n):

@@ -1,0 +1,147 @@
+"""Workload-zoo benchmark: record/replay cost and the fixpoint gate.
+
+Runs every zoo workload (newton, stencil, particle, request-stream)
+through the trace plane three times — **record** a seeded run,
+**replay** the recorded trace through the live service, **re-record**
+during that replay — and fails (exit 1) unless every re-recording is
+byte-identical to the original trace.  This is the same contract the
+golden-trace tests pin for the small single-governor scenarios,
+exercised here across the zoo's four structural shapes at benchmark
+scale.
+
+Alongside the gate it reports the trace plane's footprint per
+workload: recorded events, trace bytes, publishes, governor decisions,
+wire retries, and the simulated makespan — the numbers that tell you
+whether a recorder change made traces heavier.  ``--json`` (default
+``BENCH_zoo.json``) records them for the perf trajectory; ``--quick``
+uses the short step counts (the CI smoke shape).
+
+Run standalone: ``python benchmarks/bench_zoo.py [--quick] [--seed N]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.trace import diff_traces, replay_trace
+from repro.workloads import ZOO_WORKLOADS, record_zoo
+
+try:
+    from benchmarks.emit import add_json_arg, write_bench_json
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from emit import add_json_arg, write_bench_json
+
+SEED = 17
+
+
+def run_workload(name: str, seed: int, quick: bool) -> dict:
+    """Record one zoo workload, replay it, and gate the fixpoint."""
+    trace, _producers, _endpoints = record_zoo(name, seed=seed, quick=quick)
+    recorded = trace.to_jsonl()
+    result = replay_trace(recorded)
+    replayed = result.trace.to_jsonl()
+    kinds: dict[str, int] = {}
+    for event in trace.events:
+        kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+    return {
+        "workload": name,
+        "fixpoint": replayed == recorded,
+        "diff": diff_traces(trace, result.trace, limit=5),
+        "events": len(trace.events),
+        "trace_bytes": len(recorded),
+        "publishes": kinds.get("publish", 0),
+        "decisions": kinds.get("decision", 0),
+        "observations": kinds.get("obs", 0),
+        "retries": sum(c["retries"] for c in trace.counters),
+        "drops_recovered": sum(
+            c["drops_recovered"] for c in trace.counters
+        ),
+        "wire_bytes": sum(c["wire_bytes"] for c in trace.counters),
+        "makespan_s": max(
+            (event["entry"] for event in trace.events if "entry" in event),
+            default=0.0,
+        ),
+    }
+
+
+def format_table(rows: list[dict]) -> str:
+    columns = (
+        "events", "trace_bytes", "publishes", "decisions", "retries",
+        "makespan_s",
+    )
+    head = f"  {'workload':>16}  " + "".join(f"{c:>14}" for c in columns)
+    lines = [head]
+    for row in rows:
+        lines.append(
+            f"  {row['workload']:>16}  "
+            + "".join(f"{row[c]:>14.4g}" for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="short step counts (CI smoke mode)")
+    ap.add_argument("--seed", type=int, default=SEED,
+                    help=f"scenario seed (default {SEED})")
+    add_json_arg(ap, default="BENCH_zoo.json")
+    args = ap.parse_args(argv)
+
+    shape = "quick" if args.quick else "full"
+    print(f"zoo benchmark: {len(ZOO_WORKLOADS)} workloads, "
+          f"{shape} shape, seed {args.seed}")
+    rows = [
+        run_workload(name, args.seed, args.quick)
+        for name in ZOO_WORKLOADS
+    ]
+    print(format_table(rows))
+
+    failures = []
+    for row in rows:
+        if not row["fixpoint"]:
+            failures.append(
+                f"{row['workload']}: replay did not re-record "
+                "byte-identically:\n    " + "\n    ".join(row["diff"])
+            )
+
+    if args.json:
+        write_bench_json(
+            args.json, "zoo",
+            metrics={
+                row["workload"]: {
+                    k: v for k, v in row.items()
+                    if k not in ("workload", "diff")
+                }
+                for row in rows
+            },
+            detail={"quick": bool(args.quick), "seed": int(args.seed)},
+        )
+        print(f"metrics written to {args.json}")
+
+    if failures:
+        print("\nFAIL: the record/replay fixpoint broke:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    total = sum(row["events"] for row in rows)
+    print(f"\nOK: all {len(rows)} workloads replayed bit-identically "
+          f"({total} recorded events)")
+    return 0
+
+
+# -- pytest entry points -----------------------------------------------------------
+
+
+def test_zoo_bench_quick(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_workload(n, SEED, True) for n in ZOO_WORKLOADS],
+        rounds=1, iterations=1,
+    )
+    assert all(row["fixpoint"] for row in rows)
+    benchmark.extra_info["events"] = sum(row["events"] for row in rows)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

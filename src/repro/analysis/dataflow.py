@@ -67,7 +67,13 @@ SYNC_METHODS = ("synchronize", "drain", "wait_event")
 RESOLVER_NAMES = ("resolve", "resolve_device", "select_device")
 
 #: Decision types whose construction anchors the determinism lint.
-DECISION_TYPES = ("repro.control.governors.Decision",)
+#: Trace events join governor decisions here: everything that feeds a
+#: recorded trace must be reproducible, so the recorder/replayer code
+#: paths fall under the same nondeterminism rule (HL010).
+DECISION_TYPES = (
+    "repro.control.governors.Decision",
+    "repro.trace.format.TraceEvent",
+)
 
 
 def _tail_name(node: ast.AST) -> str | None:

@@ -693,9 +693,11 @@ class NondeterministicDecisionRule(ProjectRule):
     The control plane's contract (PRs 3-5) is bit-identical decisions
     across ranks and reruns.  This rule statically guards it: inside
     any function on a *decision path* — one that constructs a
-    ``repro.control.governors.Decision``, directly feeds one (its
-    callers), or computes values for one (their callees, bounded
-    depth) — it flags:
+    ``repro.control.governors.Decision`` or a
+    ``repro.trace.format.TraceEvent`` (the trace recorder's record
+    type: recorded traces must be byte-reproducible), directly feeds
+    one (its callers), or computes values for one (their callees,
+    bounded depth) — it flags:
 
     - wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
       ``datetime.now``/``utcnow``/``today``),

@@ -36,6 +36,7 @@ from repro.array.halo import HaloExchanger
 from repro.array.partition import ArrayPartition
 from repro.errors import ArrayError
 from repro.hamr.runtime import current_clock
+from repro.hw.node import num_devices
 from repro.svtk.table import TableData
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -56,7 +57,10 @@ class StencilConfig:
     dt: float = 1.0                # simulation seconds per step
     partitioner: str = "block"     # initial layout
     block_rows: int | None = None  # ownership granularity
-    device_id: int | None = 0      # shard placement (None = host)
+    device_id: int | None = 0      # base device; rank r lands on
+    #: ``(device_id + r) mod n_devices`` (None = host).  Spreading the
+    #: ranks keeps per-device pools/streams single-writer, so shard
+    #: alloc/free churn costs do not depend on thread arrival order.
     compute_rate: float = 2.0e8    # charged rows per simulated second
     #: Hotspot: global index fraction range [lo, hi) whose rows charge
     #: ``hotspot_cost`` additional row-costs each, from step
@@ -120,9 +124,12 @@ class StencilWorkload:
             partitioner=config.partitioner,
             block_rows=config.block_rows,
         )
+        device_id = config.device_id
+        if device_id is not None:
+            device_id = (int(device_id) + comm.rank) % max(1, num_devices())
         self.u = DistributedArray(
             comm, partition, dtype=np.float64, halo=1,
-            device_id=config.device_id, name=name,
+            device_id=device_id, name=name,
         )
         self.exchanger = HaloExchanger(comm, transport, name=name)
         self.coordinator: ArrayCoordinator | None = None
@@ -248,11 +255,15 @@ def stencil_producer(
     Each producer rank advances the shared stencil and ships its owned
     rows through the bridge every step; the returned callable closes
     the workload (draining halo flows) before the bridge finalizes.
+    When the bridge carries a control plane, repartition decisions are
+    routed into the shared plane log (and onto any attached trace
+    recorder) rather than a workload-local list.
     """
 
     def producer_main(sim_comm, bridge):
         workload = StencilWorkload(
             sim_comm, config, transport=transport,
+            plane=getattr(bridge, "control_plane", None),
             adaptive=adaptive, interval=interval, name=mesh,
         )
         try:

@@ -367,6 +367,7 @@ class ControlPlane:
         self._bridge_prev_end: float | None = None
         self._bridge_insitu_total = 0.0
         self._sender_marks: dict[int, tuple] = {}
+        self._recorder = None
 
     @property
     def enabled(self) -> bool:
@@ -395,9 +396,26 @@ class ControlPlane:
             )
         self._comm = comm
 
+    def attach_recorder(self, recorder) -> None:
+        """Mirror the plane's traffic into a trace recorder sink.
+
+        ``recorder`` needs ``on_decision(decision)`` and
+        ``on_observation(observation, origin)`` callables — the
+        :class:`repro.trace.recorder.RankSink` protocol.  Every
+        decision the plane logs (its own governors' plus the
+        externally-driven ones handed to :meth:`record`) and every
+        step observation pushed through the taps is forwarded as it
+        lands, in this rank's program order, so the recorder sees the
+        exact stream the determinism contract is made over.  One sink
+        per plane; attaching again replaces it.
+        """
+        self._recorder = recorder
+
     def _log(self, decision: Decision | None) -> Decision | None:
         if decision is not None:
             self.decisions.append(decision)
+            if self._recorder is not None:
+                self._recorder.on_decision(decision)
         return decision
 
     def record(self, decision: Decision | None) -> Decision | None:
@@ -409,6 +427,18 @@ class ControlPlane:
         the complete log and the Chrome-trace export.
         """
         return self._log(decision)
+
+    def _push(self, obs: StepObservation, origin: str) -> None:
+        """Ring-buffer an observation and mirror it to the recorder.
+
+        ``origin`` tells the trace replayer whether the observation is
+        regenerated by replaying the transport (``"transport"``) or
+        must be re-injected from the script (``"bridge"`` — the in situ
+        side does not run under replay).
+        """
+        self.signals.push(obs)
+        if self._recorder is not None:
+            self._recorder.on_observation(obs, origin)
 
     def _due(self, step: int) -> bool:
         return step % self.config.interval == 0
@@ -563,7 +593,7 @@ class ControlPlane:
         insitu = max(0.0, insitu_total - self._bridge_insitu_total)
         self._bridge_insitu_total = insitu_total
         payload = payload_nbytes(data)
-        self.signals.push(
+        self._push(
             StepObservation(
                 step=step,
                 t=clock.now,
@@ -571,7 +601,8 @@ class ControlPlane:
                 insitu_time=insitu,
                 apparent_time=apparent,
                 payload_bytes=payload,
-            )
+            ),
+            origin="bridge",
         )
         gov = self._mode_governor
         if gov is not None and sim_time > 0:
@@ -620,7 +651,7 @@ class ControlPlane:
             encode += codec.compress_time(d_raw)
         transfer_time = max(0.0, apparent - encode - d_backoff)
         ratio = (d_raw / d_wire) if d_raw > 0 and d_wire > 0 else 1.0
-        self.signals.push(
+        self._push(
             StepObservation(
                 step=step,
                 t=clock.now,
@@ -633,7 +664,8 @@ class ControlPlane:
                 ack_latency=m.ack_latency,
                 inflight_peak=m.inflight_peak,
                 extras=(("codec", codec.name),),
-            )
+            ),
+            origin="transport",
         )
         if fgov is not None:
             fgov.observe(

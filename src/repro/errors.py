@@ -27,6 +27,9 @@ __all__ = [
     "ExecutionError",
     "SolverError",
     "BinningError",
+    "TraceError",
+    "TraceFormatError",
+    "TraceVersionError",
 ]
 
 
@@ -150,3 +153,15 @@ class SolverError(ReproError):
 
 class BinningError(ReproError):
     """Failure inside the data-binning analysis."""
+
+
+class TraceError(ReproError):
+    """Failure in the trace record/replay plane (:mod:`repro.trace`)."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file is malformed (bad JSON, unknown kind, bad footer)."""
+
+
+class TraceVersionError(TraceError):
+    """A trace file carries an unsupported format version."""

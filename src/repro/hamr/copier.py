@@ -24,7 +24,7 @@ from repro.hamr.allocator import (
 )
 from repro.hamr.buffer import Buffer
 from repro.hamr.runtime import current_clock
-from repro.hamr.stream import Stream, StreamMode, default_stream
+from repro.hamr.stream import Stream, StreamMode, copy_stream, default_stream
 from repro.hw.clock import EventCategory, SimClock
 from repro.hw.node import get_node
 
@@ -72,7 +72,23 @@ def transfer(
     if allocator is None:
         allocator = default_allocator_for(pm, device_id)
     if stream is None:
-        stream = default_stream(device_id)
+        # Order the move where an async memcpy would be ordered: on the
+        # source device's dedicated copy stream (the DMA-engine lane).
+        # Not the node-wide host stream — its shared cursor would
+        # serialize unrelated ranks' D2H staging in wall-clock arrival
+        # order — and not the device's compute stream, whose later
+        # kernels must overlap the copy.  ``after`` below still orders
+        # the copy behind the source's in-flight producer.  Any
+        # device-resident destination keeps the destination device's
+        # default stream (the allocation must be ordered there).
+        to_host = (
+            device_id == HOST_DEVICE_ID
+            or (allocator is not None and allocator.is_host_resident)
+        )
+        if to_host and not src.on_host:
+            stream = copy_stream(src.device_id)
+        else:
+            stream = default_stream(device_id)
 
     src_loc = HOST_DEVICE_ID if src.on_host else src.device_id
     dst = Buffer.allocate(

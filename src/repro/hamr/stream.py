@@ -24,7 +24,7 @@ from repro.errors import StreamError
 from repro.hamr.allocator import HOST_DEVICE_ID, PMKind
 from repro.hw.clock import EventCategory, SimClock, Timeline, TimedEvent
 
-__all__ = ["StreamMode", "Stream", "default_stream"]
+__all__ = ["StreamMode", "Stream", "default_stream", "copy_stream"]
 
 
 class StreamMode(enum.Enum):
@@ -161,7 +161,31 @@ def default_stream(device_id: int = 0, pm: PMKind = PMKind.CUDA) -> Stream:
         return s
 
 
+# Per-device dedicated copy streams (the DMA-engine lanes).
+_copy_streams: dict[int, Stream] = {}
+
+
+def copy_stream(device_id: int = 0, pm: PMKind = PMKind.CUDA) -> Stream:
+    """The per-device dedicated copy stream for ``device_id``.
+
+    Staging copies issued without an explicit stream order here — the
+    copy-engine lane — rather than on the device's default compute
+    stream (an async memcpy must not serialize subsequent kernels) and
+    never on the node-wide host stream (whose shared cursor would
+    couple unrelated ranks' simulated clocks in wall arrival order).
+    """
+    device_id = int(device_id)
+    with _default_lock:
+        s = _copy_streams.get(device_id)
+        if s is None:
+            loc = "host" if device_id == HOST_DEVICE_ID else f"dev{device_id}"
+            s = Stream(device_id=device_id, name=f"copy@{loc}", pm=pm)
+            _copy_streams[device_id] = s
+        return s
+
+
 def reset_default_streams() -> None:
-    """Drop all default streams (test helper)."""
+    """Drop all default and copy streams (test helper)."""
     with _default_lock:
         _default_streams.clear()
+        _copy_streams.clear()

@@ -33,6 +33,7 @@ __all__ = [
     "idle_gaps",
     "concurrency_profile",
     "instant_event",
+    "trace_instants",
     "chrome_trace",
     "write_chrome_trace",
 ]
@@ -65,6 +66,59 @@ def instant_event(
         "ts": float(t) * time_scale,
         "args": dict(args) if args else {},
     }
+
+
+def trace_instants(
+    records: Iterable[Mapping],
+    time_scale: float = 1e6,
+    pid: int = 0,
+) -> list[dict]:
+    """Canonical trace records as Chrome-trace instant events.
+
+    Bridges the deterministic trace plane (:mod:`repro.trace`) into
+    the profiling toolchain: each ``publish``/``fin``/``decision``/
+    ``obs`` record from a recorded trace becomes an instant marker on
+    a per-rank track (``tid`` = rank), placed at the record's
+    simulated time where it carries one (``entry``) and at the track
+    cursor's last known time otherwise.  Feed the result to
+    :func:`chrome_trace` via ``extra_events`` to overlay a recorded
+    run's control activity on the resource timelines.
+    """
+    out: list[dict] = []
+    cursors: dict[int, float] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind not in ("publish", "fin", "obs", "decision"):
+            continue
+        rank = int(record.get("rank", 0))
+        t = record.get("entry")
+        if t is None:
+            t = cursors.get(rank, 0.0)
+        else:
+            cursors[rank] = float(t)
+        if kind == "publish":
+            name = f"publish step {record.get('step')}"
+            args = {"meshes": sorted(record.get("meshes", ()))}
+        elif kind == "fin":
+            name = f"fin {record.get('pipeline')}"
+            args = {}
+        elif kind == "decision":
+            name = f"{record.get('governor')}: {record.get('action')}"
+            args = dict(record.get("args", {}))
+        else:
+            name = f"obs step {record.get('step')}"
+            args = {
+                "payload_bytes": record.get("payload_bytes", 0),
+                "wire_bytes": record.get("wire_bytes", 0),
+                "retries": record.get("retries", 0),
+            }
+        out.append(
+            instant_event(
+                name, float(t), time_scale=time_scale,
+                pid=pid, tid=rank, category=f"trace.{kind}", args=args,
+            )
+        )
+    return out
 
 
 @dataclass(frozen=True)

@@ -105,8 +105,14 @@ class NewtonSolver:
         """Global source positions/masses via allgather."""
         if self.comm.size == 1:
             return self.bodies.positions, self.bodies.mass
+        # Snapshot before posting: the threaded world passes references,
+        # and a peer's in-place integration must not be visible mid-read
+        # (real MPI copies at send time).
         parts = self.comm.allgather(
-            (self.bodies.x, self.bodies.y, self.bodies.z, self.bodies.mass)
+            (
+                self.bodies.x.copy(), self.bodies.y.copy(),
+                self.bodies.z.copy(), self.bodies.mass.copy(),
+            )
         )
         xs = np.concatenate([p[0] for p in parts])
         ys = np.concatenate([p[1] for p in parts])
@@ -209,7 +215,11 @@ class NewtonSolver:
     def global_energy(self) -> float:
         """Total system energy (collective; every rank gets the value)."""
         parts = self.comm.allgather(
-            (self.bodies.positions, self.bodies.velocities, self.bodies.mass)
+            (
+                self.bodies.positions.copy(),
+                self.bodies.velocities.copy(),
+                self.bodies.mass.copy(),
+            )
         )
         pos = np.concatenate([p[0] for p in parts])
         vel = np.concatenate([p[1] for p in parts])

@@ -307,6 +307,7 @@ def run_in_transit(
     transport: TransportConfig | None = None,
     cost: CommCostModel | None = None,
     control=None,
+    recorder=None,
 ) -> tuple[list[object], list[EndpointRunner]]:
     """Launch an M-producer / N-endpoint in transit run.
 
@@ -319,7 +320,9 @@ def run_in_transit(
     injection); ``cost`` overrides the interconnect cost model.
     ``control`` (a :class:`repro.control.ControlConfig`) attaches a
     fresh control plane to each producer's bridge, enabling adaptive
-    codec selection on that producer's link.
+    codec selection on that producer's link.  ``recorder`` (a
+    :class:`repro.trace.TraceRecorder`) captures a deterministic trace
+    of the producers' traffic.
 
     Since the service plane landed this is a thin wrapper over
     :func:`repro.service.run_service` with a single collective
@@ -351,4 +354,5 @@ def run_in_transit(
         n=layout.n,
         cost=cost,
         control=control,
+        recorder=recorder,
     )

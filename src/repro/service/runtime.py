@@ -381,6 +381,7 @@ def run_service(
     cost: CommCostModel | None = None,
     control=None,
     load_board=None,
+    recorder=None,
 ) -> tuple[list[object], list[ServiceEndpoint]]:
     """Launch the sharded multi-pipeline in-transit service.
 
@@ -394,7 +395,10 @@ def run_service(
     producer; ``<control quota="on">`` arms per-tenant admission
     control and shard rebalancing.  ``load_board`` (a
     :class:`~repro.service.load.LoadBoard`) makes concurrent tenants
-    share each endpoint's congestion budget.
+    share each endpoint's congestion budget.  ``recorder`` (duck-typed;
+    see :class:`repro.trace.TraceRecorder`) wraps each producer's
+    bridge via ``recorder.bind(rank, bridge)`` to capture a
+    deterministic trace of the run.
 
     Returns ``(producer_results, endpoints)``.
     """
@@ -412,6 +416,8 @@ def run_service(
 
                 bridge.attach_control(ControlPlane(control, comm=sim_comm))
             bridge.initialize(comm, sim_comm)
+            if recorder is not None:
+                bridge = recorder.bind(sim_comm.rank, bridge)
             try:
                 result = producer_main(sim_comm, bridge)
             finally:

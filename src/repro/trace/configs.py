@@ -1,0 +1,220 @@
+"""Round-trip (de)serialization of the run configuration a trace needs.
+
+The trace header embeds everything the replayer must reconstruct to
+push the recorded traffic back through ``run_service`` bit-identically:
+the service topology (pipelines with their transport wires), the
+interconnect cost model, and the control-plane configuration.  Every
+encoder here is a pure field-by-field mapping of the frozen config
+dataclasses, and ``encode(decode(x)) == encode(x)`` exactly — the
+property the record→replay→re-record fixpoint rests on.
+"""
+
+from __future__ import annotations
+
+from repro.control.governors import FlowBounds
+from repro.control.plan import ControlConfig, GovernorSetting
+from repro.errors import TraceFormatError
+from repro.mpi.comm import CommCostModel
+from repro.service.plan import PipelineSpec, ServiceConfig
+from repro.transport.channel import FaultSpec
+from repro.transport.config import TransportConfig
+from repro.transport.retry import RetryPolicy
+
+__all__ = [
+    "encode_cost",
+    "decode_cost",
+    "encode_control",
+    "decode_control",
+    "encode_transport",
+    "decode_transport",
+    "encode_service",
+    "decode_service",
+]
+
+
+def _decode(kind: str, builder, payload: dict):
+    """Run a config constructor, wrapping failures as trace errors."""
+    try:
+        return builder(**payload)
+    except Exception as exc:
+        raise TraceFormatError(
+            f"trace header carries an invalid {kind} config: {exc}",
+            details={"section": kind},
+        ) from exc
+
+
+def encode_cost(cost: CommCostModel | None) -> dict | None:
+    if cost is None:
+        return None
+    return {
+        "latency": float(cost.latency),
+        "bandwidth": float(cost.bandwidth),
+        "barrier_cost": float(cost.barrier_cost),
+    }
+
+
+def _as_mapping(kind: str, payload) -> dict:
+    """The payload as a dict, with structured failure on type skew."""
+    try:
+        return dict(payload)
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"trace header carries a non-mapping {kind} config: {exc}",
+            details={"section": kind},
+        ) from exc
+
+
+def decode_cost(payload: dict | None) -> CommCostModel | None:
+    if payload is None:
+        return None
+    return _decode("cost", CommCostModel, _as_mapping("cost", payload))
+
+
+def encode_control(config: ControlConfig | None) -> dict | None:
+    if config is None:
+        return None
+    fb = config.flow_bounds
+    return {
+        "enabled": bool(config.enabled),
+        "seed": int(config.seed),
+        "interval": int(config.interval),
+        "window": int(config.window),
+        "codec": config.codec.value,
+        "execution": config.execution.value,
+        "placement": config.placement.value,
+        "pool": config.pool.value,
+        "flow": config.flow.value,
+        "quota": config.quota.value,
+        "repartition": config.repartition.value,
+        "repartition_skew": float(config.repartition_skew),
+        "repartition_cooldown": int(config.repartition_cooldown),
+        "pool_growth": bool(config.pool_growth),
+        "flow_bounds": {
+            "min_credits": int(fb.min_credits),
+            "max_credits": int(fb.max_credits),
+            "min_chunk": int(fb.min_chunk),
+            "max_chunk": int(fb.max_chunk),
+        },
+        "mode_low": float(config.mode_low),
+        "mode_high": float(config.mode_high),
+        "codec_margin": float(config.codec_margin),
+        "overload": float(config.overload),
+        "pool_watermark_kib": (
+            None if config.pool_watermark_kib is None
+            else float(config.pool_watermark_kib)
+        ),
+        "coordination": str(config.coordination),
+        "coordination_interval": int(config.coordination_interval),
+    }
+
+
+def decode_control(payload: dict | None) -> ControlConfig | None:
+    if payload is None:
+        return None
+    fields = _as_mapping("control", payload)
+    try:
+        for name in (
+            "codec", "execution", "placement", "pool", "flow", "quota",
+            "repartition",
+        ):
+            fields[name] = GovernorSetting.parse(fields[name])
+        fields["flow_bounds"] = FlowBounds(**fields["flow_bounds"])
+    except Exception as exc:
+        raise TraceFormatError(
+            f"trace header carries an invalid control config: {exc}",
+            details={"section": "control"},
+        ) from exc
+    return _decode("control", ControlConfig, fields)
+
+
+def encode_transport(config: TransportConfig) -> dict:
+    retry, faults = config.retry, config.faults
+    return {
+        "compression": str(config.compression),
+        "chunk_bytes": int(config.chunk_bytes),
+        "max_inflight": int(config.max_inflight),
+        "partitioner": str(config.partitioner),
+        "recv_timeout": float(config.recv_timeout),
+        "pipelined": bool(config.pipelined),
+        "retry": {
+            "max_retries": int(retry.max_retries),
+            "ack_timeout": float(retry.ack_timeout),
+            "backoff_base": float(retry.backoff_base),
+            "backoff_factor": float(retry.backoff_factor),
+            "backoff_max": float(retry.backoff_max),
+            "jitter": float(retry.jitter),
+        },
+        "faults": {
+            "drop": float(faults.drop),
+            "duplicate": float(faults.duplicate),
+            "reorder": float(faults.reorder),
+            "corrupt": float(faults.corrupt),
+            "seed": int(faults.seed),
+            "congestion_bytes": int(faults.congestion_bytes),
+            "congestion_drop": float(faults.congestion_drop),
+        },
+    }
+
+
+def decode_transport(payload: dict) -> TransportConfig:
+    fields = _as_mapping("transport", payload)
+    try:
+        fields["retry"] = RetryPolicy(**fields["retry"])
+        fields["faults"] = FaultSpec(**fields["faults"])
+    except Exception as exc:
+        raise TraceFormatError(
+            f"trace header carries an invalid transport config: {exc}",
+            details={"section": "transport"},
+        ) from exc
+    return _decode("transport", TransportConfig, fields)
+
+
+def encode_service(config: ServiceConfig) -> dict:
+    return {
+        "budget": int(config.budget),
+        "min_credits": int(config.min_credits),
+        "skew": float(config.skew),
+        "cooldown": int(config.cooldown),
+        "interval": int(config.interval),
+        "pipelines": [
+            {
+                "name": spec.name,
+                "mesh": spec.mesh,
+                "weight": float(spec.weight),
+                "shard_size": int(spec.shard_size),
+                "partitioner": str(spec.partitioner),
+                "producer_weights": (
+                    None if spec.producer_weights is None
+                    else [float(w) for w in spec.producer_weights]
+                ),
+                "ranks": (
+                    None if spec.ranks is None
+                    else [int(r) for r in spec.ranks]
+                ),
+                "collective": bool(spec.collective),
+                "transport": encode_transport(spec.transport),
+            }
+            for spec in config.pipelines
+        ],
+    }
+
+
+def decode_service(payload: dict) -> ServiceConfig:
+    fields = _as_mapping("service", payload)
+    try:
+        pipelines = []
+        for raw in fields.pop("pipelines"):
+            spec = dict(raw)
+            spec["transport"] = decode_transport(spec["transport"])
+            if spec.get("producer_weights") is not None:
+                spec["producer_weights"] = tuple(spec["producer_weights"])
+            if spec.get("ranks") is not None:
+                spec["ranks"] = tuple(spec["ranks"])
+            pipelines.append(_decode("pipeline", PipelineSpec, spec))
+        fields["pipelines"] = tuple(pipelines)
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(
+            f"trace header carries an invalid service config: {exc}",
+            details={"section": "service"},
+        ) from exc
+    return _decode("service", ServiceConfig, fields)

@@ -1,0 +1,61 @@
+"""Fixture: HL010 — nondeterminism on a trace-recorder path.
+
+Never executed; parsed by the linter in tests/analysis/test_rules.py.
+``TraceEvent`` construction anchors the determinism lint the same way
+``Decision`` does: ``emit`` builds one, so it, its caller
+``on_publish``, and its callee ``payload_key`` are on the decision
+path; ``render`` is not.  Every violation line carries a trailing
+expectation marker the test harness reads back.
+"""
+
+import random
+import time
+
+from repro.trace.format import TraceEvent
+
+
+def emit(self, kind, body):
+    stamp = time.monotonic()  # expect: HL010
+    fields = {k: v for k, v in body.items()}  # expect: HL010
+    fields["key"] = payload_key(self, body)
+    fields["stamp"] = stamp
+    return TraceEvent(
+        kind=kind, rank=self.rank, seq=self.seq,
+        body=tuple(sorted(fields.items())),
+    )
+
+
+def on_publish(self, step, meshes):
+    # Direct caller of the TraceEvent maker: also on the path.
+    jitter = random.random()  # expect: HL010
+    return emit(self, "publish", {"step": step + jitter, "meshes": meshes})
+
+
+def payload_key(self, body):
+    # Callee of the maker (bounded-depth BFS): still on the path.
+    for name in set(body):  # expect: HL010
+        self.touch(name)
+    return "|".join(sorted(body))
+
+
+def canonical(self, kind, body):
+    # The sanctioned shapes: seeded RNG, sorted iteration.
+    rng = random.Random(self.seed)
+    ordered = tuple(sorted(body.items()))
+    return TraceEvent(
+        kind=kind, rank=self.rank, seq=rng.randrange(2), body=ordered,
+    )
+
+
+def suppressed_wall_guard(self, kind, body):
+    deadline = time.monotonic() + 5.0  # lint: disable=HL010
+    event = emit(self, kind, body)
+    self.deadline = deadline
+    return event
+
+
+def render(events):
+    # Not on any trace path: wall-clock and dict order are fine here.
+    stamp = time.time()
+    lines = [f"{k}={v}" for e in events for k, v in e.to_dict().items()]
+    return stamp, lines

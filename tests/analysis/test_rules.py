@@ -65,6 +65,23 @@ class TestRuleFixtures:
         assert findings
         assert {f.rule for f in findings} == set(ALL_RULE_IDS)
 
+    def test_hl010_covers_trace_recorder_paths(self):
+        """``TraceEvent`` construction anchors HL010 like ``Decision``.
+
+        The recorder fixture marks wall-clock reads, unseeded RNG, and
+        unsorted iteration inside functions on a trace-event path; the
+        canonical shapes (seeded RNG, ``sorted(...)``) and off-path
+        rendering code must stay clean.
+        """
+        path = FIXTURES / "hl010_trace.py"
+        expected = expected_findings(path)
+        assert expected and all(rule == "HL010" for rule, _ in expected)
+        findings = lint_paths([path], select=["HL010"])
+        assert [(f.rule, f.line) for f in findings] == expected
+        # The fixture stays single-rule so the whole-dir tag check
+        # above keeps its exact rule-set equality.
+        assert {f.rule for f in lint_paths([path])} == {"HL010"}
+
 
 class TestFindingShape:
     def test_finding_fields(self):

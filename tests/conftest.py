@@ -27,6 +27,24 @@ from repro.hw.spec import NodeSpec
 from repro.mpi.comm import run_spmd
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="re-record the golden trace fixtures under tests/golden/ "
+             "instead of comparing against them (review the diff before "
+             "committing — a golden refresh is a deliberate contract "
+             "change, not a fix)",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run was asked to refresh the golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(autouse=True)
 def clean_substrate():
     """Fresh node, streams, pools, clock, and active device per test."""

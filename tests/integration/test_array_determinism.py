@@ -17,13 +17,9 @@ import numpy as np
 
 from repro.array import StencilConfig, StencilWorkload
 from repro.control.plan import ControlConfig, ControlPlane
-from repro.hamr.pool import reset_pools
-from repro.hamr.runtime import set_active_device, set_current_clock
-from repro.hamr.stream import reset_default_streams
-from repro.hw.clock import SimClock
-from repro.hw.node import reset_node
 from repro.mpi import run_spmd
 from repro.mpi.comm import CommCostModel
+from repro.trace.harness import fresh_substrate
 from repro.transport.config import TransportConfig
 from repro.transport.retry import RetryPolicy
 from repro.units import gbs, us
@@ -63,13 +59,10 @@ def rank_main(comm):
 
 
 def run_once(name):
-    # Two runs share the process: scrub the substrate state by hand the
-    # way the per-test fixture does, so the second run starts cold.
-    reset_node()
-    reset_default_streams()
-    reset_pools()
-    set_current_clock(SimClock(name=name))
-    set_active_device(0)
+    # Two runs share the process: the shared harness scrubs the
+    # substrate state the way the per-test fixture does, so the second
+    # run starts cold.
+    fresh_substrate(name)
     return run_spmd(RANKS, rank_main, cost=SLOW_FABRIC)
 
 

@@ -23,12 +23,10 @@ import math
 import numpy as np
 
 from repro.control.plan import ControlConfig
-from repro.hamr.pool import pool_for, reset_pools
-from repro.hamr.runtime import current_clock, set_active_device, set_current_clock
-from repro.hamr.stream import reset_default_streams
-from repro.hw.clock import SimClock
+from repro.hamr.pool import pool_for
+from repro.hamr.runtime import current_clock
 from repro.hw.contention import ContentionModel, SharedResource
-from repro.hw.node import get_node, reset_node
+from repro.hw.node import get_node
 from repro.mpi.comm import CommCostModel
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.bridge import Bridge
@@ -36,6 +34,7 @@ from repro.sensei.data_adaptor import TableDataAdaptor
 from repro.sensei.intransit import InTransitLayout, run_in_transit
 from repro.sensei.placement import DevicePlacement
 from repro.svtk.table import TableData
+from repro.trace.harness import canonical_decisions, fresh_substrate
 from repro.transport.config import TransportConfig
 from repro.transport.retry import RetryPolicy
 from repro.units import KiB, gbs, us
@@ -144,38 +143,19 @@ def endpoint_factory():
     return [Sink()]
 
 
-def _canonical(decision):
-    """A decision dict minus its timestamp, measured floats normalized.
-
-    Flow decisions additionally drop their measured-signal context
-    (``retry_rate``, ``ack_latency``, ``inflight_peak``, and the reason
-    string quoting them): ACK-timeout retransmissions are triggered by
-    *wall-clock* deadlines, so a thread descheduled past ``ack_timeout``
-    retransmits a chunk one run and not the next — the AIMD trajectory
-    (the window/chunk actions and their ordering, asserted below) is
-    what must reproduce bit-identically, the same way decision
-    timestamps are compared with tolerance instead of exactly.
-    """
-    out = {k: v for k, v in decision.items() if k != "time"}
-    out["args"] = {
-        k: float(f"{v:.9g}") if isinstance(v, float) else v
-        for k, v in decision["args"].items()
-    }
-    if decision["governor"] == "flow":
-        out.pop("reason", None)
-        for k in ("retry_rate", "ack_latency", "inflight_peak"):
-            out["args"].pop(k, None)
-    return out
-
-
 def run_once():
-    # Two runs share the process: scrub the substrate state by hand the
-    # way the per-test fixture does, so the second run starts cold.
-    reset_node()
-    reset_default_streams()
-    reset_pools()
-    set_current_clock(SimClock(name="determinism"))
-    set_active_device(0)
+    # Two runs share the process: the shared harness scrubs the
+    # substrate state the way the per-test fixture does, so the second
+    # run starts cold.  Decision logs are compared in the trace plane's
+    # canonical form (``canonical_decisions``): the clock stamp is
+    # dropped, measured floats are normalized to 9 significant digits,
+    # and flow decisions additionally shed their measured-signal
+    # context (retry_rate, ack_latency, inflight_peak, and the reason
+    # string quoting them) — ACK-timeout retransmissions fire on
+    # *wall-clock* deadlines, so the AIMD trajectory (the window/chunk
+    # actions and their ordering, asserted below) is what must
+    # reproduce bit-identically.
+    fresh_substrate("determinism")
     layout = InTransitLayout(m=M, n=N)
     producers, _endpoints = run_in_transit(
         layout,
@@ -229,8 +209,8 @@ class TestControlDeterminism:
         """
         first = run_once()
         second = run_once()
-        assert [[_canonical(d) for d in log] for log in first] == [
-            [_canonical(d) for d in log] for log in second
+        assert [canonical_decisions(log) for log in first] == [
+            canonical_decisions(log) for log in second
         ]
         for la, lb in zip(first, second):
             for da, db in zip(la, lb):

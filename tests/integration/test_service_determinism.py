@@ -17,16 +17,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.control.plan import ControlConfig
-from repro.hamr.pool import reset_pools
-from repro.hamr.runtime import set_active_device, set_current_clock
-from repro.hamr.stream import reset_default_streams
-from repro.hw.clock import SimClock
-from repro.hw.node import reset_node
 from repro.mpi.comm import CommCostModel
 from repro.sensei.analysis_adaptor import AnalysisAdaptor
 from repro.sensei.data_adaptor import TableDataAdaptor
 from repro.service import PipelineSpec, ServiceConfig, run_service
 from repro.svtk.table import TableData
+from repro.trace.harness import canonical_decisions, fresh_substrate
 from repro.transport.config import TransportConfig
 from repro.transport.retry import RetryPolicy
 from repro.units import gbs, us
@@ -110,25 +106,13 @@ def producer_main(sim_comm, bridge):
     return [d.to_dict() for d in plane.decisions], drops
 
 
-def _canonical(decision):
-    """A decision dict minus its timestamp, floats normalized to 9
-    significant digits (measured values carry ~1e-16 thread jitter)."""
-    out = {k: v for k, v in decision.items() if k != "time"}
-    out["args"] = {
-        k: float(f"{v:.9g}") if isinstance(v, float) else v
-        for k, v in decision["args"].items()
-    }
-    return out
-
-
 def run_once():
-    # Two runs share the process: scrub the substrate state by hand the
-    # way the per-test fixture does, so the second run starts cold.
-    reset_node()
-    reset_default_streams()
-    reset_pools()
-    set_current_clock(SimClock(name="service-determinism"))
-    set_active_device(0)
+    # Two runs share the process: the shared harness scrubs the
+    # substrate state the way the per-test fixture does, so the second
+    # run starts cold.  Decision logs are compared in the trace plane's
+    # canonical form (clock stamp dropped, measured floats normalized
+    # to 9 significant digits) via ``canonical_decisions``.
+    fresh_substrate("service-determinism")
     producers, endpoints = run_service(
         CONFIG, producer_main, _registry(), m=M, n=N,
         cost=SLOW_FABRIC, control=CONTROL,
@@ -177,9 +161,9 @@ class TestServiceDeterminism:
         logs_a = [log for log, _ in first]
         logs_b = [log for log, _ in second]
         # Replicated admission state: every rank walked the same log.
-        canon_a = [[_canonical(d) for d in log] for log in logs_a]
+        canon_a = [canonical_decisions(log) for log in logs_a]
         assert canon_a[0] == canon_a[1]
-        assert canon_a == [[_canonical(d) for d in log] for log in logs_b]
+        assert canon_a == [canonical_decisions(log) for log in logs_b]
         for la, lb in zip(logs_a, logs_b):
             for da, db in zip(la, lb):
                 assert abs(da["time"] - db["time"]) < 1e-3
